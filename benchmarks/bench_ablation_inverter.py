@@ -1,0 +1,72 @@
+"""Ablation — choice of inversion algorithm (Durbin+epsilon vs
+Gaver–Stehfest).
+
+The paper picks the Durbin/Crump family (complex abscissae, epsilon
+acceleration, tunable damping) and reports that it sustains ~14 digits on
+the UR workload. The main alternative, Gaver–Stehfest, uses only real
+abscissae but amplifies round-off exponentially in its order — in double
+precision it cannot reach the paper's ε = 10⁻¹². This ablation runs both
+on the same RRL transform of the RAID unreliability model and reports
+achieved accuracy and abscissa counts.
+
+Run:  pytest benchmarks/bench_ablation_inverter.py --benchmark-only -q -s
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import EPS, GROUPS
+from repro import TRR, StandardRandomizationSolver
+from repro.core._setup import prepare
+from repro.core.transforms import VklTransform
+from repro.core.truncation import select_truncation
+from repro.laplace.gaver import invert_gaver_stehfest
+from repro.laplace.inversion import invert_bounded
+
+
+@pytest.fixture(scope="module")
+def transform_and_reference(reliability_models):
+    g = GROUPS[0]
+    model, rewards = reliability_models[g]
+    t = 100.0
+    setup = prepare(model, rewards, None, None)
+    choice = select_truncation(setup.main, setup.primed, setup.rate, t,
+                               EPS / 2.0, rewards.max_rate)
+    tr = VklTransform(
+        setup.main.snapshot(),
+        setup.primed.snapshot() if setup.primed is not None else None,
+        choice.k_point, choice.l_point, setup.rate,
+        setup.absorbing_rewards)
+    ref = StandardRandomizationSolver().solve(model, rewards, TRR, [t],
+                                              1e-13).values[0]
+    return tr, t, ref
+
+
+def test_durbin_epsilon(benchmark, transform_and_reference, capsys):
+    tr, t, ref = transform_and_reference
+
+    def run():
+        return invert_bounded(tr.trr, t, eps=EPS, bound=1.0)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    err = abs(res.value - ref)
+    with capsys.disabled():
+        print(f"\nDurbin+epsilon: err={err:.2e} with "
+              f"{res.n_abscissae} abscissae (budget ε={EPS:g})")
+    assert err <= 10 * EPS
+
+
+@pytest.mark.parametrize("m", [5, 7, 9])
+def test_gaver_stehfest(benchmark, transform_and_reference, m, capsys):
+    tr, t, ref = transform_and_reference
+
+    def run():
+        return invert_gaver_stehfest(tr.trr, t, m=m)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    err = abs(res.value - ref)
+    with capsys.disabled():
+        print(f"\nGaver–Stehfest M={m}: err={err:.2e} with "
+              f"{res.n_abscissae} abscissae")
+    # The structural ceiling: GS cannot reach the paper's budget.
+    assert err > EPS

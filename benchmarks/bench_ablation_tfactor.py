@@ -1,0 +1,66 @@
+"""Ablation — the period parameter T of Durbin's formula (Section 2.2).
+
+The paper reports: Crump's choice ``T = t`` is fast but *sometimes
+unstable*; Piessens–Huysmans' ``T = 16t`` is very stable but much slower;
+``T = 8t`` is the sweet spot. This ablation sweeps
+``T/t ∈ {1, 2, 4, 8, 16}`` over the RAID unreliability workload and
+reports, per choice: failures/instabilities, max deviation from the SR
+reference, and abscissa counts — regenerating the experiment behind the
+paper's design decision.
+
+Run:  pytest benchmarks/bench_ablation_tfactor.py --benchmark-only -q -s
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import EPS, GROUPS, TIMES
+from repro import TRR, RRLSolver, StandardRandomizationSolver
+from repro.exceptions import InversionError
+
+T_FACTORS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+@pytest.fixture(scope="module")
+def reference(reliability_models):
+    """High-accuracy reference values for the smallest model at moderate
+    horizons (SR is exact-to-budget there)."""
+    g = GROUPS[0]
+    model, rewards = reliability_models[g]
+    times = [t for t in TIMES if model.max_output_rate * t <= 2e5]
+    ref = StandardRandomizationSolver().solve(model, rewards, TRR, times,
+                                              1e-13)
+    return g, model, rewards, times, ref.values
+
+
+@pytest.mark.parametrize("t_factor", T_FACTORS)
+def test_tfactor_sweep(benchmark, reference, t_factor, capsys):
+    g, model, rewards, times, ref_values = reference
+
+    def run():
+        try:
+            return RRLSolver(t_factor=t_factor).solve(
+                model, rewards, TRR, times, EPS)
+        except InversionError:
+            return None
+
+    sol = benchmark.pedantic(run, rounds=1, iterations=1)
+    if sol is None:
+        with capsys.disabled():
+            print(f"\nT={t_factor:g}·t: inversion did not settle "
+                  "(instability — the paper saw this for small T)")
+        return
+    dev = float(np.max(np.abs(sol.values - ref_values)))
+    absc = np.asarray(sol.stats["n_abscissae"])
+    with capsys.disabled():
+        print(f"\nT={t_factor:g}·t: max|dev|={dev:.2e}, abscissae "
+              f"{absc.min()}–{absc.max()}")
+    if t_factor >= 8.0:
+        # The paper's chosen regime must honour the error budget.
+        assert dev <= 10 * EPS
+
+
+def test_paper_default_is_8(reference):
+    g, model, rewards, times, ref_values = reference
+    sol = RRLSolver().solve(model, rewards, TRR, times, EPS)
+    assert sol.stats["t_factor"] == 8.0

@@ -1,0 +1,68 @@
+"""Figure 3 — CPU times of RRL vs RR vs RSD for UA(t) (log-log shape).
+
+Each benchmark cell times one standalone solve at one horizon, as the
+paper measured. Absolute seconds depend on the machine; the *shape* must
+hold: RR's cost grows with Λt (its inner standard-randomization solve of
+V_{K,L}), RSD's saturates after detection, RRL's stays flat-ish in t —
+so for the largest horizons RRL ≲ RSD ≪ RR.
+
+Run:  pytest benchmarks/bench_figure3.py --benchmark-only -q -s
+"""
+
+import pytest
+
+from benchmarks.conftest import CONFIG, EPS, GROUPS, TIMES, sr_predicted_steps
+from repro.analysis import get_solver
+from repro.analysis.experiments import run_figure3
+from repro.markov.rewards import Measure
+
+
+def _cell(benchmark, model, rewards, method, t, **kwargs):
+    solver = get_solver(method, **kwargs)
+
+    def run():
+        return solver.solve(model, rewards, Measure.TRR, [t], EPS)
+
+    return benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("t", TIMES)
+@pytest.mark.parametrize("g", GROUPS)
+def test_fig3_rrl(benchmark, availability_models, g, t):
+    model, rewards = availability_models[g]
+    sol = _cell(benchmark, model, rewards, "RRL", t)
+    assert 0.0 <= sol.values[0] <= 1.0
+
+
+@pytest.mark.parametrize("t", TIMES)
+@pytest.mark.parametrize("g", GROUPS)
+def test_fig3_rr(benchmark, availability_models, g, t):
+    model, rewards = availability_models[g]
+    predicted = sr_predicted_steps(model, rewards, t)
+    if predicted > CONFIG.rr_inner_budget:
+        pytest.skip(f"RR inner solve would need ~{predicted} steps")
+    sol = _cell(benchmark, model, rewards, "RR", t,
+                inner_max_steps=CONFIG.rr_inner_budget)
+    assert 0.0 <= sol.values[0] <= 1.0
+
+
+@pytest.mark.parametrize("t", TIMES)
+@pytest.mark.parametrize("g", GROUPS)
+def test_fig3_rsd(benchmark, availability_models, g, t):
+    model, rewards = availability_models[g]
+    sol = _cell(benchmark, model, rewards, "RSD", t)
+    assert 0.0 <= sol.values[0] <= 1.0
+
+
+def test_print_figure3(capsys):
+    """Regenerate the full Figure-3 series with the harness and print it."""
+    fig = run_figure3(CONFIG)
+    with capsys.disabled():
+        print()
+        print(fig.render())
+    # Shape assertion: at the largest horizon RRL beats RR wherever RR ran.
+    for g in GROUPS:
+        rrl = fig.series[f"G={g}, RRL"][-1]
+        rr = fig.series[f"G={g}, RR"][-1]
+        if rrl is not None and rr is not None:
+            assert rrl < rr

@@ -1,0 +1,70 @@
+"""Figure 4 — CPU times of RRL vs RR vs SR for UR(t).
+
+The paper's starkest plot: SR is slightly faster than everything for
+small t but explodes linearly in Λt (2.4M steps at t = 10⁵ h for G=20),
+while RRL stays flat. Over-budget SR cells are skipped, as running them
+is precisely what the paper's method makes unnecessary.
+
+Run:  pytest benchmarks/bench_figure4.py --benchmark-only -q -s
+"""
+
+import pytest
+
+from benchmarks.conftest import CONFIG, EPS, GROUPS, TIMES, sr_predicted_steps
+from repro.analysis import get_solver
+from repro.analysis.experiments import run_figure4
+from repro.markov.rewards import Measure
+
+
+def _cell(benchmark, model, rewards, method, t, **kwargs):
+    solver = get_solver(method, **kwargs)
+
+    def run():
+        return solver.solve(model, rewards, Measure.TRR, [t], EPS)
+
+    return benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("t", TIMES)
+@pytest.mark.parametrize("g", GROUPS)
+def test_fig4_rrl(benchmark, reliability_models, g, t):
+    model, rewards = reliability_models[g]
+    sol = _cell(benchmark, model, rewards, "RRL", t)
+    assert 0.0 <= sol.values[0] <= 1.0
+
+
+@pytest.mark.parametrize("t", TIMES)
+@pytest.mark.parametrize("g", GROUPS)
+def test_fig4_rr(benchmark, reliability_models, g, t):
+    model, rewards = reliability_models[g]
+    predicted = sr_predicted_steps(model, rewards, t)
+    if predicted > CONFIG.rr_inner_budget:
+        pytest.skip(f"RR inner solve would need ~{predicted} steps")
+    sol = _cell(benchmark, model, rewards, "RR", t,
+                inner_max_steps=CONFIG.rr_inner_budget)
+    assert 0.0 <= sol.values[0] <= 1.0
+
+
+@pytest.mark.parametrize("t", TIMES)
+@pytest.mark.parametrize("g", GROUPS)
+def test_fig4_sr(benchmark, reliability_models, g, t):
+    model, rewards = reliability_models[g]
+    predicted = sr_predicted_steps(model, rewards, t)
+    if predicted > CONFIG.sr_step_budget:
+        pytest.skip(f"SR would need ~{predicted} steps")
+    sol = _cell(benchmark, model, rewards, "SR", t,
+                max_steps=CONFIG.sr_step_budget)
+    assert 0.0 <= sol.values[0] <= 1.0
+
+
+def test_print_figure4(capsys):
+    fig = run_figure4(CONFIG)
+    with capsys.disabled():
+        print()
+        print(fig.render())
+    # Shape: wherever both ran at the largest horizon, RRL beats SR.
+    for g in GROUPS:
+        rrl = fig.series[f"G={g}, RRL"][-1]
+        sr = fig.series[f"G={g}, SR"][-1]
+        if rrl is not None and sr is not None:
+            assert rrl < sr

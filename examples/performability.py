@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Performability: expected RAID-5 throughput, instant and interval.
+
+Dependability models become *performability* models as soon as the reward
+structure is richer than a 0/1 indicator (the paper's framework covers
+arbitrary r_i >= 0, with distinct rewards allowed on absorbing states).
+This example attaches a throughput reward to the RAID-5 availability
+model — full-speed groups earn 1, degraded groups 0.5, reconstructing
+groups 0.7 (rebuild traffic steals bandwidth), a down system 0 — and
+computes the expected throughput TRR(t) and the accumulated average
+MRR(t) with RRL, cross-checked against standard randomization.
+
+Run:  python examples/performability.py
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import MRR, TRR, RRLSolver, StandardRandomizationSolver
+from repro.analysis.reporting import format_table
+from repro.models import (
+    Raid5Params,
+    build_raid5_availability,
+    raid5_performability_rewards,
+)
+
+TIMES = [1.0, 10.0, 1e2, 1e3, 1e4]
+EPS = 1e-10
+
+
+def main() -> None:
+    g = int(os.environ.get("REPRO_G", "10"))
+    params = Raid5Params(groups=g)
+    model, _ua_rewards, explored = build_raid5_availability(params)
+    rewards = raid5_performability_rewards(explored, params)
+    print(f"RAID-5 performability: G={g}, reward = expected group "
+          f"throughput (max {rewards.max_rate:g})")
+
+    t0 = time.perf_counter()
+    trr = RRLSolver().solve(model, rewards, TRR, TIMES, eps=EPS)
+    mrr = RRLSolver().solve(model, rewards, MRR, TIMES, eps=EPS)
+    elapsed = time.perf_counter() - t0
+
+    # Cross-check the smaller horizons against standard randomization.
+    check_times = TIMES[:4]
+    sr_trr = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                 check_times, eps=EPS)
+    sr_mrr = StandardRandomizationSolver().solve(model, rewards, MRR,
+                                                 check_times, eps=EPS)
+    max_dev = max(
+        float(np.max(np.abs(sr_trr.values - trr.values[:4]))),
+        float(np.max(np.abs(sr_mrr.values - mrr.values[:4]))))
+
+    rows = []
+    for i, t in enumerate(TIMES):
+        loss_pct = 100.0 * (1.0 - trr.values[i] / g)
+        rows.append([f"{t:g}", f"{trr.values[i]:.6f}",
+                     f"{mrr.values[i]:.6f}", f"{loss_pct:.4f}%"])
+    print(format_table(
+        f"Expected throughput (g groups ⇒ max {g})   [{elapsed:.2f}s via RRL]",
+        ["t (h)", "TRR(t)", "MRR(t)", "capacity loss"],
+        rows,
+        note=f"max deviation vs standard randomization on t<=1e3: "
+             f"{max_dev:.2e} (ε={EPS:g})"))
+
+
+if __name__ == "__main__":
+    main()

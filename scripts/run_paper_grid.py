@@ -1,0 +1,28 @@
+import time, json
+from repro.analysis.experiments import (ExperimentConfig, run_table1, run_table2,
+                                        run_figure3, run_figure4, PAPER_UR_1E5)
+from repro.models import Raid5Params, build_raid5_reliability, build_raid5_availability
+from repro import RRLSolver, TRR, MRR
+
+cfg = ExperimentConfig.paper()
+t0 = time.time()
+print("== models ==", flush=True)
+for g in (20, 40):
+    m, rw, _ = build_raid5_availability(cfg.params_for(g))
+    print(f"G={g}: states={m.n_states} transitions={m.n_transitions} Lambda={m.max_output_rate:.4f}", flush=True)
+print("\n== Table 1 ==", flush=True)
+print(run_table1(cfg).render(), flush=True)
+print("\n== Table 2 ==", flush=True)
+print(run_table2(cfg).render(), flush=True)
+print("\n== UR values + abscissae ==", flush=True)
+for g in (20, 40):
+    m, rw, _ = build_raid5_reliability(cfg.params_for(g))
+    sol = RRLSolver().solve(m, rw, TRR, list(cfg.times), 1e-12)
+    print(f"G={g} UR:", ["%.5f" % v for v in sol.values],
+          "abscissae:", list(map(int, sol.stats["n_abscissae"])),
+          f"(paper UR(1e5)={PAPER_UR_1E5[g]})", flush=True)
+print("\n== Figure 3 ==  (elapsed %.0fs)" % (time.time()-t0), flush=True)
+print(run_figure3(cfg).render(), flush=True)
+print("\n== Figure 4 ==  (elapsed %.0fs)" % (time.time()-t0), flush=True)
+print(run_figure4(cfg).render(), flush=True)
+print("\nTOTAL %.0fs" % (time.time()-t0), flush=True)

@@ -1,0 +1,79 @@
+"""repro — Transient analysis of dependability/performability Markov models
+by regenerative randomization with Laplace transform inversion.
+
+Reproduction of: J. A. Carrasco, "Transient Analysis of Dependability/
+Performability Models by Regenerative Randomization with Laplace Transform
+Inversion", IPDPS 2000 Workshops, LNCS 1800, pp. 1226–1235.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import CTMC, RewardStructure, TRR, RRLSolver
+>>> q = [[-1.0, 1.0], [10.0, -10.0]]            # 2-state repairable system
+>>> model = CTMC(np.array(q))
+>>> rewards = RewardStructure.indicator(2, [1])  # unavailability
+>>> sol = RRLSolver().solve(model, rewards, TRR, [100.0], eps=1e-10)
+>>> round(sol.values[0], 6)                      # ≈ 1/11 at steady state
+0.090909
+
+Public API
+----------
+* Substrate: :class:`CTMC`, :class:`DTMC`, :class:`RewardStructure`,
+  measures :data:`TRR` / :data:`MRR`.
+* Solvers (all share ``solve(model, rewards, measure, times, eps)``):
+  :class:`RRLSolver` (the paper's method),
+  :class:`RegenerativeRandomizationSolver` (original RR),
+  :class:`StandardRandomizationSolver` (SR),
+  :class:`SteadyStateDetectionSolver` (RSD),
+  :class:`AdaptiveUniformizationSolver` (AU),
+  :class:`OdeSolver` (cross-check).
+* Models: :mod:`repro.models` (parametric RAID-5 generator and a library
+  of small analytical chains).
+* Experiments: :mod:`repro.analysis` (the table/figure harness).
+"""
+
+from repro.exceptions import (
+    ConvergenceError,
+    InversionError,
+    MeasureError,
+    ModelError,
+    ReproError,
+    TruncationError,
+)
+from repro.markov import (
+    CTMC,
+    DTMC,
+    MRR,
+    TRR,
+    AdaptiveUniformizationSolver,
+    Measure,
+    MultistepRandomizationSolver,
+    OdeSolver,
+    RewardStructure,
+    StandardRandomizationSolver,
+    SteadyStateDetectionSolver,
+)
+from repro.markov.base import TransientSolution
+from repro.core import (
+    BoundedSolution,
+    RegenerativeRandomizationSolver,
+    RRLBoundsSolver,
+    RRLSolver,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "ModelError", "MeasureError", "ConvergenceError",
+    "TruncationError", "InversionError",
+    # substrate
+    "CTMC", "DTMC", "RewardStructure", "Measure", "TRR", "MRR",
+    "TransientSolution",
+    # solvers
+    "RRLSolver", "RegenerativeRandomizationSolver",
+    "StandardRandomizationSolver", "SteadyStateDetectionSolver",
+    "AdaptiveUniformizationSolver", "OdeSolver",
+    "MultistepRandomizationSolver", "RRLBoundsSolver", "BoundedSolution",
+]

@@ -1,0 +1,51 @@
+"""High-level analysis API and the paper-experiment harness."""
+
+from repro.analysis.runner import solve, get_solver, SOLVER_REGISTRY
+from repro.analysis.reporting import format_table, format_series
+from repro.analysis.convergence import (
+    DecayFit,
+    excursion_decay,
+    predict_truncation,
+    compare_regenerative_states,
+)
+from repro.analysis.validation import ValidationReport, cross_validate
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    StepTable,
+    TimingTable,
+    run_steps_table,
+    run_timing_table,
+    run_table1,
+    run_table2,
+    run_figure3,
+    run_figure4,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_UR_1E5,
+)
+
+__all__ = [
+    "solve",
+    "get_solver",
+    "SOLVER_REGISTRY",
+    "DecayFit",
+    "excursion_decay",
+    "predict_truncation",
+    "compare_regenerative_states",
+    "ValidationReport",
+    "cross_validate",
+    "format_table",
+    "format_series",
+    "ExperimentConfig",
+    "StepTable",
+    "TimingTable",
+    "run_steps_table",
+    "run_timing_table",
+    "run_table1",
+    "run_table2",
+    "run_figure3",
+    "run_figure4",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_UR_1E5",
+]

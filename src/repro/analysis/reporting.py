@@ -1,0 +1,67 @@
+"""Plain-text table/series formatting for the experiment harness.
+
+The paper presents its evaluation as two step-count tables and two CPU-
+time log-log figures; these helpers render both as aligned monospace text
+(the closest faithful medium for a terminal-first reproduction — the
+"figures" become printed series suitable for gnuplot/matplotlib
+replotting).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(title: str,
+                 col_names: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 note: str | None = None) -> str:
+    """Render an aligned monospace table.
+
+    ``None`` cells render as ``—`` (used for skipped/over-budget runs).
+    Floats are shown with 6 significant digits; everything else via
+    ``str``.
+    """
+
+    def cell(x: object) -> str:
+        if x is None:
+            return "—"
+        if isinstance(x, float):
+            return f"{x:.6g}"
+        return str(x)
+
+    grid = [[cell(c) for c in row] for row in rows]
+    header = [str(c) for c in col_names]
+    widths = [max(len(header[j]), *(len(r[j]) for r in grid)) if grid
+              else len(header[j]) for j in range(len(header))]
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in grid:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def format_series(title: str,
+                  x_name: str,
+                  x_values: Sequence[float],
+                  series: dict[str, Sequence[float | None]],
+                  y_name: str = "seconds") -> str:
+    """Render one 'figure' as labelled columns of (x, y) pairs.
+
+    ``series`` maps a legend label (e.g. ``"G=20, RRL"``) to y-values
+    aligned with ``x_values``; ``None`` marks points skipped for budget
+    reasons.
+    """
+    cols = [x_name] + list(series)
+    rows: list[list[object]] = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for label in series:
+            row.append(series[label][i])
+        rows.append(row)
+    return format_table(f"{title}  [{y_name}]", cols, rows)

@@ -1,0 +1,74 @@
+"""One-call front door: ``solve(model, rewards, measure, times, method=...)``.
+
+Keeps a registry of solver factories keyed by the short method tags the
+paper uses (``"RRL"``, ``"RR"``, ``"SR"``, ``"RSD"``, plus the extras
+``"AU"`` and ``"ODE"``), so scripts and the experiment harness can select
+methods by name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.rr_solver import RegenerativeRandomizationSolver
+from repro.core.rrl_solver import RRLSolver
+from repro.markov.adaptive import AdaptiveUniformizationSolver
+from repro.markov.base import TransientSolution, TransientSolver
+from repro.markov.ctmc import CTMC
+from repro.markov.ode import OdeSolver
+from repro.markov.rewards import Measure, RewardStructure
+from repro.markov.multistep import MultistepRandomizationSolver
+from repro.markov.rsd import SteadyStateDetectionSolver
+from repro.markov.standard import StandardRandomizationSolver
+
+__all__ = ["SOLVER_REGISTRY", "get_solver", "solve"]
+
+#: Method tag → zero-config solver factory. Factories take arbitrary
+#: keyword arguments forwarded to the solver constructor.
+SOLVER_REGISTRY: dict[str, Callable[..., TransientSolver]] = {
+    "RRL": RRLSolver,
+    "RR": RegenerativeRandomizationSolver,
+    "SR": StandardRandomizationSolver,
+    "RSD": SteadyStateDetectionSolver,
+    "AU": AdaptiveUniformizationSolver,
+    "ODE": OdeSolver,
+    "MS": MultistepRandomizationSolver,
+}
+
+
+def get_solver(method: str, **kwargs) -> TransientSolver:
+    """Instantiate a solver by its method tag (case-insensitive)."""
+    key = method.upper()
+    try:
+        factory = SOLVER_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(SOLVER_REGISTRY))
+        raise ValueError(f"unknown method {method!r}; choose from {known}") \
+            from None
+    return factory(**kwargs)
+
+
+def solve(model: CTMC,
+          rewards: RewardStructure,
+          measure: Measure,
+          times: np.ndarray | list[float] | float,
+          eps: float = 1e-12,
+          method: str = "RRL",
+          **solver_kwargs) -> TransientSolution:
+    """Compute a transient measure with the chosen method.
+
+    Parameters
+    ----------
+    model, rewards, measure, times, eps:
+        As for the individual solvers; ``times`` may be a scalar.
+    method:
+        One of :data:`SOLVER_REGISTRY` (default the paper's ``"RRL"``).
+    solver_kwargs:
+        Forwarded to the solver constructor (e.g. ``regenerative=...``).
+    """
+    if np.isscalar(times):
+        times = [float(times)]  # type: ignore[list-item]
+    solver = get_solver(method, **solver_kwargs)
+    return solver.solve(model, rewards, measure, times, eps)

@@ -1,0 +1,196 @@
+"""Command-line interface: reproduce the paper's artefacts from a shell.
+
+Examples
+--------
+Reproduce Table 2 on the paper's grid::
+
+    python -m repro table2 --paper
+
+Solve the RAID unreliability at three horizons with RRL::
+
+    python -m repro solve --model raid-ur --groups 20 \
+        --times 1e3 1e4 1e5 --method RRL --eps 1e-12
+
+Rank regenerative-state candidates for the availability model::
+
+    python -m repro diagnose --groups 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.convergence import compare_regenerative_states
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.runner import SOLVER_REGISTRY, solve
+from repro.markov.mttf import mean_time_to_absorption
+from repro.markov.rewards import Measure
+from repro.models import (
+    Raid5Params,
+    build_raid5_availability,
+    build_raid5_reliability,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    if args.paper:
+        return ExperimentConfig.paper(sr_step_budget=args.sr_budget)
+    kwargs = {}
+    if args.groups:
+        kwargs["groups"] = tuple(args.groups)
+    if args.times:
+        kwargs["times"] = tuple(args.times)
+    return ExperimentConfig(sr_step_budget=args.sr_budget, **kwargs)
+
+
+def _add_grid_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--paper", action="store_true",
+                   help="use the paper's exact grid (G=20/40, t<=1e5 h)")
+    p.add_argument("--groups", type=int, nargs="+",
+                   help="parity-group counts G (default: 5 10)")
+    p.add_argument("--times", type=float, nargs="+",
+                   help="horizons in hours (default: 1..1e4, decades)")
+    p.add_argument("--sr-budget", type=int, default=2_000_000,
+                   help="skip SR/RR cells beyond this many inner steps")
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    cfg = _config_from(args)
+    table = run_table1(cfg) if args.which == "table1" else run_table2(cfg)
+    print(table.render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    cfg = _config_from(args)
+    fig = run_figure3(cfg) if args.which == "figure3" else run_figure4(cfg)
+    print(fig.render())
+    return 0
+
+
+def _build_model(kind: str, groups: int):
+    params = Raid5Params(groups=groups)
+    if kind == "raid-ua":
+        model, rewards, _ = build_raid5_availability(params)
+    elif kind == "raid-ur":
+        model, rewards, _ = build_raid5_reliability(params)
+    else:
+        raise SystemExit(f"unknown model {kind!r}")
+    return model, rewards
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    model, rewards = _build_model(args.model, args.groups)
+    measure = Measure.TRR if args.measure == "trr" else Measure.MRR
+    sol = solve(model, rewards, measure, args.times, eps=args.eps,
+                method=args.method)
+    rows = [[f"{t:g}", f"{v:.10e}", int(s)]
+            for t, v, s in zip(sol.times, sol.values, sol.steps)]
+    print(format_table(
+        f"{args.measure.upper()} of {args.model} (G={args.groups}) via "
+        f"{sol.method}, eps={args.eps:g}",
+        ["t (h)", "value", "steps"], rows))
+    return 0
+
+
+def _cmd_mttf(args: argparse.Namespace) -> int:
+    model, _ = _build_model("raid-ur", args.groups)
+    at = mean_time_to_absorption(model)
+    print(f"RAID-5 G={args.groups}: MTTF = {at.mean:.6g} h, "
+          f"std = {np.sqrt(at.variance):.6g} h, cv² = {at.cv2:.4f}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import cross_validate
+    model, rewards = _build_model(args.model, args.groups)
+    report = cross_validate(model, rewards, Measure.TRR, args.times,
+                            eps=args.eps)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    model, _ = _build_model("raid-ua", args.groups)
+    ranked = compare_regenerative_states(model)
+    rows = []
+    for state, fit in ranked[: args.top]:
+        label = model.labels[state] if model.labels else state
+        rows.append([state, str(label), f"{fit.rate:.6f}",
+                     "yes" if fit.exhausted else "no"])
+    print(format_table(
+        f"Regenerative-state candidates for RAID-5 G={args.groups} "
+        "(smaller decay = smaller K)",
+        ["index", "state", "a(k) decay", "exhausted"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerative randomization with Laplace transform "
+                    "inversion — paper reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for which, runner in (("table1", _cmd_table), ("table2", _cmd_table),
+                          ("figure3", _cmd_figure),
+                          ("figure4", _cmd_figure)):
+        p = sub.add_parser(which, help=f"reproduce the paper's {which}")
+        _add_grid_options(p)
+        p.set_defaults(func=runner, which=which)
+
+    p = sub.add_parser("solve", help="solve a RAID measure directly")
+    p.add_argument("--model", choices=["raid-ua", "raid-ur"],
+                   default="raid-ur")
+    p.add_argument("--groups", type=int, default=10)
+    p.add_argument("--measure", choices=["trr", "mrr"], default="trr")
+    p.add_argument("--method", choices=sorted(SOLVER_REGISTRY),
+                   default="RRL")
+    p.add_argument("--times", type=float, nargs="+",
+                   default=[1.0, 100.0, 10000.0])
+    p.add_argument("--eps", type=float, default=1e-12)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("mttf", help="mean time to failure of the RAID model")
+    p.add_argument("--groups", type=int, default=10)
+    p.set_defaults(func=_cmd_mttf)
+
+    p = sub.add_parser("diagnose",
+                       help="rank regenerative-state candidates")
+    p.add_argument("--groups", type=int, default=10)
+    p.add_argument("--top", type=int, default=8)
+    p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser("validate",
+                       help="cross-method agreement check on a RAID model")
+    p.add_argument("--model", choices=["raid-ua", "raid-ur"],
+                   default="raid-ur")
+    p.add_argument("--groups", type=int, default=5)
+    p.add_argument("--times", type=float, nargs="+", default=[1.0, 100.0])
+    p.add_argument("--eps", type=float, default=1e-10)
+    p.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

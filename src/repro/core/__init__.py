@@ -1,0 +1,40 @@
+"""The paper's contribution: regenerative randomization (RR) and its
+Laplace-transform-inversion variant (RRL).
+
+Pipeline
+--------
+1. :mod:`repro.core.schedules` steps the randomized DTMC and records the
+   regenerative schedules ``a(k), c(k), q_k, v_k^i`` (and the primed
+   counterparts for initial distributions not concentrated on ``r``);
+2. :mod:`repro.core.truncation` selects the truncation points ``K`` and
+   ``L`` for a target time and error budget;
+3. either
+   * :mod:`repro.core.vkl` materializes the truncated transformed chain
+     ``V_{K,L}`` and :mod:`repro.core.rr_solver` solves it by standard
+     randomization (**RR**, the original method), or
+   * :mod:`repro.core.transforms` evaluates the closed-form Laplace
+     transform of ``TRR^a_{K,L}`` / ``C_{K,L}`` and
+     :mod:`repro.core.rrl_solver` inverts it numerically (**RRL**, the
+     paper's new variant).
+"""
+
+from repro.core.schedules import RegenerativeSchedule, ScheduleBuilder
+from repro.core.truncation import select_truncation, truncation_error_bound
+from repro.core.transforms import VklTransform
+from repro.core.vkl import build_vkl
+from repro.core.rr_solver import RegenerativeRandomizationSolver
+from repro.core.rrl_solver import RRLSolver
+from repro.core.bounds import BoundedSolution, RRLBoundsSolver
+
+__all__ = [
+    "RegenerativeSchedule",
+    "ScheduleBuilder",
+    "select_truncation",
+    "truncation_error_bound",
+    "VklTransform",
+    "build_vkl",
+    "RegenerativeRandomizationSolver",
+    "RRLSolver",
+    "BoundedSolution",
+    "RRLBoundsSolver",
+]

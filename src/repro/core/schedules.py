@@ -1,0 +1,227 @@
+"""Regenerative schedules: the quantities RR extracts from the model.
+
+Regenerative randomization picks a regenerative state ``r`` and describes
+the randomized DTMC ``X̂`` through the statistics of its excursions away
+from ``r``. Stepping the sub-stochastic vector
+
+    u_0 = e_r,     u_{k+1} = (u_k P) with the entries at r and at the
+                   absorbing states zeroed after recording them,
+
+yields, for every step ``k``:
+
+* ``a(k) = Σ u_k``         — probability the excursion is still running,
+* ``c(k) = Σ u_k(i) r_i``  — reward mass carried (``c = a·b`` of the paper),
+* ``qmass(k) = (u_k P)_r`` — mass regenerating at step ``k+1``
+  (``= q_k a(k)``),
+* ``vmass(k, i) = (u_k P)_{f_i}`` — mass absorbed into ``f_i`` at step
+  ``k+1`` (``= v_k^i a(k)``).
+
+The same recursion started from the initial distribution restricted to
+``S \\ {r}`` (mass ``1 − α_r``) produces the primed schedules ``a'(k)``
+etc. Working with the *unnormalized* masses is deliberate: the transforms
+of Section 2.1 only ever consume the products ``a(k)b(k)``, ``v_k^i a(k)``
+— so no divisions occur and the computation stays subtraction-free, the
+stability property randomization methods are prized for.
+
+A :class:`ScheduleBuilder` is *incremental*: truncation-point selection
+extends it on demand, and a sweep over increasing ``t`` reuses all
+previously computed steps (this is why RR/RRL step counts in the paper's
+tables are cumulative-friendly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ModelError
+from repro.markov.ctmc import CTMC
+from repro.markov.rewards import RewardStructure
+
+__all__ = ["RegenerativeSchedule", "ScheduleBuilder"]
+
+#: Below this total excursion mass the schedule is declared exhausted:
+#: the truncation error of any longer chain is zero at double precision.
+_EXHAUSTED = 1e-305
+
+
+@dataclass(frozen=True)
+class RegenerativeSchedule:
+    """Frozen snapshot of a schedule prefix (length ``n``).
+
+    ``a`` and ``c`` have length ``n``; ``qmass`` and ``vmass`` have length
+    ``n - 1`` (they describe transitions *out of* step ``k`` and the last
+    recorded step has not been stepped yet) unless the excursion is
+    exhausted, in which case all mass is gone and trailing entries vanish.
+    """
+
+    a: np.ndarray
+    c: np.ndarray
+    qmass: np.ndarray
+    vmass: np.ndarray  # shape (n-1, A)
+    exhausted: bool
+
+    @property
+    def n(self) -> int:
+        """Number of recorded steps (entries of ``a``)."""
+        return int(self.a.size)
+
+    def b(self, k: int) -> float:
+        """Conditional expected reward ``b(k) = c(k)/a(k)`` (0 if a=0)."""
+        if self.a[k] <= 0.0:
+            return 0.0
+        return float(self.c[k] / self.a[k])
+
+
+class ScheduleBuilder:
+    """Incrementally computes a regenerative schedule by stepping ``P``.
+
+    Parameters
+    ----------
+    transition:
+        CSR transition matrix of the randomized DTMC ``X̂``.
+    regenerative:
+        Index of the regenerative state ``r``.
+    absorbing:
+        Indices of the absorbing states ``f_1 .. f_A`` (may be empty).
+    reward:
+        Reward rate vector over the full state space.
+    u0:
+        Starting sub-stochastic vector (``e_r`` for the main schedule, the
+        initial distribution restricted to ``S \\ {r}`` for the primed
+        one). Entries at ``r``/absorbing states must already be zero
+        except that ``u0 = e_r`` is of course allowed for the main chain.
+    """
+
+    def __init__(self,
+                 transition: sparse.csr_matrix,
+                 regenerative: int,
+                 absorbing: np.ndarray,
+                 reward: np.ndarray,
+                 u0: np.ndarray) -> None:
+        self._pt = transition.T.tocsr()
+        self._r_idx = int(regenerative)
+        self._abs_idx = np.asarray(absorbing, dtype=int)
+        self._reward = np.asarray(reward, dtype=np.float64)
+        self._u = np.asarray(u0, dtype=np.float64).copy()
+        if np.any(self._u < 0.0):
+            raise ModelError("u0 must be non-negative")
+        if self._abs_idx.size and np.any(self._u[self._abs_idx] > 0.0):
+            raise ModelError("u0 must carry no mass on absorbing states")
+
+        self._a: list[float] = [float(self._u.sum())]
+        self._c: list[float] = [float(self._reward @ self._u)]
+        self._qmass: list[float] = []
+        self._vmass: list[np.ndarray] = []
+        self._exhausted = self._a[0] <= _EXHAUSTED
+        self._steps_done = 0
+
+    @classmethod
+    def for_model(cls, model: CTMC, rewards: RewardStructure,
+                  regenerative: int,
+                  rate: float | None = None
+                  ) -> tuple["ScheduleBuilder", "ScheduleBuilder | None",
+                             float, np.ndarray]:
+        """Build the main and primed builders for a model.
+
+        Returns ``(main, primed_or_None, rate, absorbing_indices)``.
+        The primed builder is ``None`` when the initial distribution is
+        concentrated on ``r`` (``α_r = 1``), the paper's ``V_K`` case.
+        """
+        rewards.check_model(model)
+        dtmc, lam = model.uniformize(rate)
+        absorbing = model.absorbing_states()
+        if regenerative in set(int(i) for i in absorbing):
+            raise ModelError("the regenerative state cannot be absorbing")
+        init = model.initial
+        if absorbing.size and float(init[absorbing].sum()) > 0.0:
+            raise ModelError(
+                "initial probability on absorbing states must be zero "
+                "(paper assumption P[X(0)=f_i]=0)")
+        p = dtmc.transition_matrix
+        r_vec = rewards.rates
+
+        e_r = np.zeros(model.n_states)
+        e_r[regenerative] = 1.0
+        main = cls(p, regenerative, absorbing, r_vec, e_r)
+
+        alpha_r = float(init[regenerative])
+        primed: ScheduleBuilder | None = None
+        if alpha_r < 1.0:
+            u0 = init.copy()
+            u0[regenerative] = 0.0
+            primed = cls(p, regenerative, absorbing, r_vec, u0)
+        return main, primed, lam, absorbing
+
+    # -- incremental stepping ---------------------------------------------
+
+    @property
+    def n_recorded(self) -> int:
+        """Number of steps with ``a(k)`` recorded (``k = 0 .. n-1``)."""
+        return len(self._a)
+
+    @property
+    def steps_done(self) -> int:
+        """Number of DTMC matrix–vector products performed so far."""
+        return self._steps_done
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the excursion mass has vanished (no truncation error
+        beyond the recorded prefix)."""
+        return self._exhausted
+
+    @property
+    def n_absorbing(self) -> int:
+        """Number of absorbing states ``A``."""
+        return int(self._abs_idx.size)
+
+    def a_last(self) -> float:
+        """Most recent ``a(k)`` value."""
+        return self._a[-1]
+
+    def a_at(self, k: int) -> float:
+        """``a(k)`` for an already-recorded step ``k`` (O(1))."""
+        return self._a[k]
+
+    def step(self) -> None:
+        """Advance one step (no-op when exhausted)."""
+        if self._exhausted:
+            return
+        y = self._pt @ self._u
+        q = float(y[self._r_idx])
+        y[self._r_idx] = 0.0
+        if self._abs_idx.size:
+            v = y[self._abs_idx].copy()
+            y[self._abs_idx] = 0.0
+        else:
+            v = np.zeros(0)
+        self._qmass.append(q)
+        self._vmass.append(v)
+        self._u = y
+        self._a.append(float(y.sum()))
+        self._c.append(float(self._reward @ y))
+        self._steps_done += 1
+        if self._a[-1] <= _EXHAUSTED:
+            self._exhausted = True
+
+    def extend_to(self, k: int) -> None:
+        """Ensure ``a(k)`` is recorded (or the schedule is exhausted)."""
+        while len(self._a) <= k and not self._exhausted:
+            self.step()
+
+    def snapshot(self) -> RegenerativeSchedule:
+        """Freeze the current prefix into arrays."""
+        n = len(self._a)
+        a_arr = np.asarray(self._a)
+        c_arr = np.asarray(self._c)
+        q_arr = np.asarray(self._qmass)
+        if self._vmass:
+            v_arr = np.vstack(self._vmass)
+        else:
+            v_arr = np.zeros((0, self.n_absorbing))
+        return RegenerativeSchedule(a=a_arr[:n], c=c_arr[:n],
+                                    qmass=q_arr, vmass=v_arr,
+                                    exhausted=self._exhausted)

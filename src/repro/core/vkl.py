@@ -1,0 +1,135 @@
+"""Explicit construction of the truncated transformed chain ``V_{K,L}``.
+
+The original RR method solves this chain by standard randomization; the
+test-suite additionally uses it to validate the closed-form transforms of
+:mod:`repro.core.transforms` (solve the explicit chain, compare against
+the inverted transform).
+
+State layout (paper's Figure 1):
+
+====================  =========================================
+index                 state
+====================  =========================================
+``0 .. K``            ``s_0 .. s_K`` (main chain)
+``K+1 .. K+1+L``      ``s'_0 .. s'_L`` (only when ``α_r < 1``)
+next ``A`` indices    ``f_1 .. f_A``
+last index            ``a`` (truncation sink)
+====================  =========================================
+
+Transition rates (all states of the two chains have total exit rate ``Λ``;
+the ``q_0 Λ`` self-loop of ``s_0`` is dropped — a CTMC self-loop is a
+no-op):
+
+* ``s_k → s_{k+1}`` at ``w_k Λ = Λ a(k+1)/a(k)``,
+* ``s_k → s_0`` at ``q_k Λ``, ``s_k → f_i`` at ``v_k^i Λ`` (``k < K``),
+* ``s_K → a`` at ``Λ``; primed chain analogous with ``s'_k → s_0`` for
+  the first visit to ``r`` and ``s'_L → a`` at ``Λ``.
+
+Rewards: ``b(k)`` on ``s_k``, ``b'(k)`` on ``s'_k``, the original
+``r_{f_i}`` on ``f_i``, and 0 on ``a``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedules import RegenerativeSchedule
+from repro.exceptions import ModelError
+from repro.markov.ctmc import CTMC
+from repro.markov.rewards import RewardStructure
+
+__all__ = ["build_vkl"]
+
+
+def _chain_transitions(sched: RegenerativeSchedule, k_point: int,
+                       base: int, s0_index: int, f_base: int,
+                       sink: int, rate: float,
+                       out: list[tuple[int, int, float]]) -> None:
+    """Emit the transitions of one (main or primed) excursion chain."""
+    a = sched.a
+    for k in range(k_point):
+        a_k = a[k]
+        if a_k <= 0.0:
+            break
+        src = base + k
+        w_rate = rate * (a[k + 1] / a_k)
+        if w_rate > 0.0:
+            out.append((src, base + k + 1, w_rate))
+        q_rate = rate * (sched.qmass[k] / a_k)
+        if q_rate > 0.0 and src != s0_index:
+            out.append((src, s0_index, q_rate))
+        if sched.vmass.shape[1]:
+            for i, vm in enumerate(sched.vmass[k]):
+                v_rate = rate * (vm / a_k)
+                if v_rate > 0.0:
+                    out.append((src, f_base + i, v_rate))
+    # Truncation sink (only when the end of the chain still carries mass).
+    if a[k_point] > 0.0:
+        out.append((base + k_point, sink, rate))
+
+
+def build_vkl(main: RegenerativeSchedule,
+              primed: RegenerativeSchedule | None,
+              k_point: int,
+              l_point: int | None,
+              rate: float,
+              absorbing_rewards: np.ndarray,
+              alpha_r: float) -> tuple[CTMC, RewardStructure]:
+    """Materialize ``V_{K,L}`` (or ``V_K``) and its reward structure.
+
+    Returns the chain with initial distribution
+    ``P[s_0] = α_r, P[s'_0] = 1 − α_r`` and the reward structure described
+    in the module docstring.
+    """
+    if (primed is None) != (l_point is None):
+        raise ModelError("primed schedule and l_point must come together")
+    k = min(int(k_point), main.n - 1)
+    if k < int(k_point) and not main.exhausted:
+        raise ModelError(f"main schedule too short for K={k_point}")
+    rf = np.asarray(absorbing_rewards, dtype=np.float64)
+    n_abs = rf.size
+
+    n_main = k + 1
+    if primed is not None:
+        lp = min(int(l_point), primed.n - 1)  # type: ignore[arg-type]
+        if lp < int(l_point) and not primed.exhausted:
+            raise ModelError(f"primed schedule too short for L={l_point}")
+        n_primed = lp + 1
+    else:
+        lp = None
+        n_primed = 0
+    f_base = n_main + n_primed
+    sink = f_base + n_abs
+    n_states = sink + 1
+
+    transitions: list[tuple[int, int, float]] = []
+    _chain_transitions(main, k, base=0, s0_index=0, f_base=f_base,
+                       sink=sink, rate=rate, out=transitions)
+    if primed is not None:
+        _chain_transitions(primed, lp, base=n_main, s0_index=0,
+                           f_base=f_base, sink=sink, rate=rate,
+                           out=transitions)
+
+    initial = np.zeros(n_states)
+    initial[0] = alpha_r
+    if primed is not None:
+        initial[n_main] = 1.0 - alpha_r
+    elif not np.isclose(alpha_r, 1.0):
+        raise ModelError("alpha_r < 1 requires a primed schedule")
+
+    rewards = np.zeros(n_states)
+    for i in range(n_main):
+        rewards[i] = main.b(i)
+    if primed is not None:
+        for i in range(n_primed):
+            rewards[n_main + i] = primed.b(i)
+    rewards[f_base: f_base + n_abs] = rf
+    # rewards[sink] stays 0 (state ``a``).
+
+    labels: list[object] = [("s", i) for i in range(n_main)]
+    labels += [("s'", i) for i in range(n_primed)]
+    labels += [("f", i) for i in range(n_abs)]
+    labels.append(("a",))
+    model = CTMC.from_transitions(n_states, transitions, initial=initial,
+                                  labels=labels)
+    return model, RewardStructure(rewards)

@@ -1,0 +1,81 @@
+"""Durbin's Fourier-series approximation of the inverse Laplace transform.
+
+For a transform ``F(s)`` of a real function ``f(t)``, Durbin's formula
+[Durbin, Computer Journal 1974] with damping ``a`` and half-period ``T``:
+
+    f_a(t) = (e^{at}/T) [ F(a)/2 + Σ_{k>=1} Re( F(a + ikπ/T) e^{ikπt/T} ) ]
+
+satisfies ``f_a(t) = f(t) + Σ_{k>=1} f(2kT + t) e^{-2akT}`` — the aliasing
+error handled by :mod:`repro.laplace.error_control`. This module generates
+the (real) series terms lazily so the inversion driver can feed them to
+the epsilon accelerator one at a time and stop as soon as the accelerated
+estimates settle; the number of abscissae actually consumed is the cost
+metric the paper reports (105–329 abscissae in its experiments).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+__all__ = ["durbin_terms", "durbin_partial_sums"]
+
+#: How many abscissae to evaluate per batch; the transform callable is
+#: vectorized over ``s`` so batching amortizes per-call overhead without
+#: wasting many extra abscissae past the convergence point.
+_BATCH = 16
+
+
+def durbin_terms(transform: Callable[[np.ndarray], np.ndarray],
+                 t: float, a: float, t_period: float,
+                 max_terms: int,
+                 batch: int = _BATCH) -> Iterator[float]:
+    """Yield the Durbin series terms (already scaled by ``e^{at}/T``).
+
+    The first yielded value is the ``k = 0`` half-term
+    ``(e^{at}/T)·F(a)/2``; term ``k >= 1`` is
+    ``(e^{at}/T)·Re(F(a + ikπ/T) e^{ikπt/T})``.
+
+    Parameters
+    ----------
+    transform:
+        Vectorized complex transform ``F``; called with a 1-D complex array.
+    t:
+        Inversion time (> 0).
+    a:
+        Damping parameter.
+    t_period:
+        Half-period ``T`` (the paper uses ``T = 8t``).
+    max_terms:
+        Hard cap on the number of terms generated (``k = 0 .. max_terms-1``).
+    batch:
+        Abscissae per transform call.
+    """
+    if t <= 0.0 or t_period <= 0.0:
+        raise ValueError("t and T must be positive")
+    scale = np.exp(a * t) / t_period
+    s0 = np.asarray([complex(a, 0.0)])
+    yield float(scale * transform(s0)[0].real / 2.0)
+    k = 1
+    omega = np.pi / t_period
+    while k < max_terms:
+        ks = np.arange(k, min(k + batch, max_terms), dtype=np.float64)
+        s = a + 1j * ks * omega
+        vals = transform(s)
+        phases = np.exp(1j * ks * omega * t)
+        terms = scale * (vals * phases).real
+        for term in terms:
+            yield float(term)
+        k += ks.size
+
+
+def durbin_partial_sums(transform: Callable[[np.ndarray], np.ndarray],
+                        t: float, a: float, t_period: float,
+                        max_terms: int,
+                        batch: int = _BATCH) -> Iterator[float]:
+    """Yield running partial sums of :func:`durbin_terms`."""
+    total = 0.0
+    for term in durbin_terms(transform, t, a, t_period, max_terms, batch):
+        total += term
+        yield total

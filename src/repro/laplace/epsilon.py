@@ -1,0 +1,102 @@
+"""Wynn's epsilon algorithm for nonlinear series acceleration.
+
+Crump's inversion method [Crump, JACM 1976] — and the paper's RRL, which
+follows it with ``T = 8t`` — feeds the partial sums of the Durbin Fourier
+series through the epsilon algorithm, which computes Shanks transforms
+recursively:
+
+    ε_{-1}^{(j)} = 0,   ε_0^{(j)} = S_j,
+    ε_{k+1}^{(j)} = ε_{k-1}^{(j+1)} + 1 / (ε_k^{(j+1)} − ε_k^{(j)}).
+
+Even columns ``ε_{2m}^{(j)}`` converge (often dramatically faster than the
+raw sums) to the series limit; odd columns are intermediates.
+
+The incremental :class:`EpsilonAccelerator` keeps only the current
+anti-diagonal of the table, so accepting the ``n``-th partial sum costs
+``O(n)`` time and memory, and exposes the best current even-column
+estimate after each term — exactly what the inversion loop's convergence
+test consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EpsilonAccelerator", "wynn_epsilon"]
+
+#: Denominators smaller than this (relative to the working scale) signal an
+#: exactly-converged (or degenerate) column; the algorithm then reuses the
+#: lower-order estimate rather than dividing by ~0.
+_TINY = 1e-300
+
+
+class EpsilonAccelerator:
+    """Incremental epsilon-algorithm table over a stream of partial sums.
+
+    Usage::
+
+        acc = EpsilonAccelerator()
+        for s in partial_sums:
+            estimate = acc.add(s)
+
+    ``add`` returns the current best accelerated estimate (the deepest
+    even-column entry available). :attr:`n_terms` counts the partial sums
+    consumed.
+    """
+
+    def __init__(self) -> None:
+        self._diag: list[float] = []  # current anti-diagonal, ε_k^{(n-k)}
+        self._n = 0
+        self._last_estimate = 0.0
+        self._degenerate = False
+
+    @property
+    def n_terms(self) -> int:
+        """Number of partial sums consumed so far."""
+        return self._n
+
+    @property
+    def estimate(self) -> float:
+        """Best accelerated estimate seen so far."""
+        return self._last_estimate
+
+    def add(self, partial_sum: float) -> float:
+        """Consume one partial sum; return the current best estimate."""
+        s = float(partial_sum)
+        old = self._diag
+        new: list[float] = [s]
+        # Build the next anti-diagonal: new[k] = ε_k^{(n-k)} where
+        # ε_k = ε_{k-2}(shifted) + 1/(ε_{k-1}(new) − ε_{k-1}(old)).
+        # After a degenerate break the kept anti-diagonal is shorter than
+        # the term count; the table simply stops deepening past that point.
+        for k in range(1, len(old) + 1):
+            denom = new[k - 1] - old[k - 1]
+            prev = old[k - 2] if k >= 2 else 0.0
+            if denom == 0.0 or not np.isfinite(denom):
+                # Exact convergence at this depth (or an inf/inf collision
+                # in an odd column): stop deepening the table here. The
+                # last finished even column already holds the limit.
+                self._degenerate = True
+                break
+            nxt = prev + 1.0 / denom
+            if not np.isfinite(nxt):
+                self._degenerate = True
+                break
+            new.append(nxt)
+        self._diag = new
+        self._n += 1
+        # Deepest even-column entry on the anti-diagonal.
+        top = len(new) - 1
+        if top % 2 == 1:
+            top -= 1
+        self._last_estimate = new[top]
+        return self._last_estimate
+
+
+def wynn_epsilon(partial_sums: "np.ndarray | list[float]") -> float:
+    """One-shot acceleration of a finite sequence of partial sums."""
+    acc = EpsilonAccelerator()
+    est = 0.0
+    for s in np.asarray(partial_sums, dtype=np.float64):
+        est = acc.add(float(s))
+    return est

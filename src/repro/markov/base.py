@@ -1,0 +1,94 @@
+"""Common result container and interface for transient solvers.
+
+Every solver in this package — SR, RSD, adaptive uniformization, the ODE
+baseline, and the paper's RR/RRL — exposes::
+
+    solve(model, rewards, measure, times, eps) -> TransientSolution
+
+so the experiment harness can swap methods freely. Work statistics (step
+counts, abscissa counts, wall time) ride along in the solution, because the
+paper's evaluation compares exactly those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.markov.ctmc import CTMC
+from repro.markov.rewards import Measure, RewardStructure
+
+__all__ = ["TransientSolution", "TransientSolver"]
+
+
+@dataclass
+class TransientSolution:
+    """Result of a transient analysis run.
+
+    Attributes
+    ----------
+    times:
+        The evaluation time points, in the order requested.
+    values:
+        Measure values, one per time point.
+    measure:
+        Which measure (:class:`~repro.markov.rewards.Measure`) was computed.
+    eps:
+        Error budget the values honour (total, as in the paper).
+    steps:
+        Number of DTMC steps charged to each time point. For randomization
+        methods this is the dominant cost and is what the paper's
+        Tables 1–2 report.
+    method:
+        Short method tag (``"SR"``, ``"RSD"``, ``"RR"``, ``"RRL"``, ...).
+    stats:
+        Free-form per-run diagnostics (e.g. number of Laplace abscissae,
+        truncation parameters K and L, detection step).
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    measure: Measure
+    eps: float
+    steps: np.ndarray
+    method: str
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def value_at(self, t: float) -> float:
+        """Value for time point ``t`` (must be one of the requested times)."""
+        idx = np.flatnonzero(np.isclose(self.times, t, rtol=1e-12, atol=0.0))
+        if idx.size == 0:
+            raise KeyError(f"time {t} was not among the solved time points")
+        return float(self.values[idx[0]])
+
+    def steps_at(self, t: float) -> int:
+        """Step count charged to time point ``t``."""
+        idx = np.flatnonzero(np.isclose(self.times, t, rtol=1e-12, atol=0.0))
+        if idx.size == 0:
+            raise KeyError(f"time {t} was not among the solved time points")
+        return int(self.steps[idx[0]])
+
+
+class TransientSolver(Protocol):
+    """Structural interface shared by all transient solvers."""
+
+    def solve(self,
+              model: CTMC,
+              rewards: RewardStructure,
+              measure: Measure,
+              times: "np.ndarray | list[float]",
+              eps: float) -> TransientSolution:
+        """Compute ``measure`` at each time in ``times`` with error ``eps``."""
+        ...  # pragma: no cover
+
+
+def as_time_array(times: "np.ndarray | list[float] | float") -> np.ndarray:
+    """Normalize a times argument to a positive 1-D float array."""
+    arr = np.atleast_1d(np.asarray(times, dtype=np.float64))
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("times must be a non-empty 1-D sequence")
+    if np.any(arr <= 0.0) or not np.all(np.isfinite(arr)):
+        raise ValueError("times must be positive and finite")
+    return arr

@@ -1,0 +1,261 @@
+"""Sparse continuous-time Markov chain container.
+
+A :class:`CTMC` owns the infinitesimal generator ``Q`` in CSR form plus an
+initial probability distribution, and provides the operations every solver
+in this package needs: validation, uniformization (randomization) into a
+:class:`repro.markov.dtmc.DTMC`, structural queries (absorbing states,
+reachability) and convenience constructors from transition lists.
+
+Conventions
+-----------
+* States are integers ``0 .. n-1``; an optional ``labels`` sequence maps
+  indices to arbitrary hashable descriptions (the RAID model stores its
+  symbolic state tuples there).
+* ``Q[i, j]`` for ``i != j`` is the transition rate ``i -> j``;
+  ``Q[i, i] = -sum_j Q[i, j]``.
+* Distributions are *row* vectors; evolution is ``dπ/dt = π Q``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Hashable
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ModelError
+from repro.markov.dtmc import DTMC
+
+__all__ = ["CTMC"]
+
+_VALIDATION_RTOL = 1e-9
+
+
+class CTMC:
+    """Finite homogeneous continuous-time Markov chain.
+
+    Parameters
+    ----------
+    generator:
+        ``(n, n)`` sparse or dense matrix; off-diagonal entries are the
+        transition rates, the diagonal must make rows sum to zero (it is
+        recomputed and checked, see ``fix_diagonal``).
+    initial:
+        Initial probability row vector of length ``n``. Defaults to mass 1
+        on state 0.
+    labels:
+        Optional per-state descriptions (any hashables).
+    fix_diagonal:
+        When True (default) the diagonal is overwritten with the negated
+        off-diagonal row sums instead of being validated, which is the
+        convenient mode for model generators that only emit rates.
+    """
+
+    def __init__(self,
+                 generator: sparse.spmatrix | np.ndarray,
+                 initial: np.ndarray | None = None,
+                 labels: Sequence[Hashable] | None = None,
+                 *,
+                 fix_diagonal: bool = True) -> None:
+        q = sparse.csr_matrix(generator, dtype=np.float64)
+        if q.shape[0] != q.shape[1]:
+            raise ModelError(f"generator must be square, got {q.shape}")
+        n = q.shape[0]
+        if n == 0:
+            raise ModelError("empty state space")
+
+        coo = q.tocoo()
+        off_diag_mask = coo.row != coo.col
+        if np.any(coo.data[off_diag_mask] < 0.0):
+            raise ModelError("negative off-diagonal rate in generator")
+
+        if fix_diagonal:
+            off = sparse.coo_matrix(
+                (coo.data[off_diag_mask],
+                 (coo.row[off_diag_mask], coo.col[off_diag_mask])),
+                shape=(n, n)).tocsr()
+            out_rates = np.asarray(off.sum(axis=1)).ravel()
+            q = (off - sparse.diags(out_rates)).tocsr()
+        else:
+            row_sums = np.asarray(q.sum(axis=1)).ravel()
+            scale = np.maximum(np.asarray(abs(q).sum(axis=1)).ravel(), 1.0)
+            if np.any(np.abs(row_sums) > _VALIDATION_RTOL * scale):
+                raise ModelError("generator rows do not sum to zero")
+            out_rates = -q.diagonal()
+            if np.any(out_rates < -_VALIDATION_RTOL):
+                raise ModelError("positive diagonal entry in generator")
+
+        q.eliminate_zeros()
+        q.sum_duplicates()
+        self._q = q
+        self._out_rates = np.maximum(out_rates, 0.0)
+        self._n = n
+
+        if initial is None:
+            initial = np.zeros(n)
+            initial[0] = 1.0
+        initial = np.asarray(initial, dtype=np.float64)
+        if initial.shape != (n,):
+            raise ModelError(
+                f"initial distribution shape {initial.shape} != ({n},)")
+        if np.any(initial < -1e-15):
+            raise ModelError("initial distribution has negative entries")
+        total = initial.sum()
+        if not np.isclose(total, 1.0, rtol=1e-9, atol=1e-12):
+            raise ModelError(f"initial distribution sums to {total}, not 1")
+        self._initial = np.clip(initial, 0.0, None)
+        self._initial = self._initial / self._initial.sum()
+
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != n:
+                raise ModelError("labels length does not match state count")
+        self._labels = labels
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_transitions(cls,
+                         n_states: int,
+                         transitions: Iterable[tuple[int, int, float]],
+                         initial: np.ndarray | int | None = None,
+                         labels: Sequence[Hashable] | None = None) -> "CTMC":
+        """Build a chain from ``(src, dst, rate)`` triplets.
+
+        Duplicate ``(src, dst)`` pairs are summed. ``initial`` may be a
+        state index (mass 1 there) or a full distribution.
+        """
+        rows, cols, vals = [], [], []
+        for i, j, r in transitions:
+            if i == j:
+                raise ModelError(f"self-loop rate on state {i}")
+            if r < 0.0:
+                raise ModelError(f"negative rate {r} on {i}->{j}")
+            if not (0 <= i < n_states and 0 <= j < n_states):
+                raise ModelError(f"transition ({i},{j}) out of range")
+            if r == 0.0:
+                continue
+            rows.append(i)
+            cols.append(j)
+            vals.append(r)
+        q = sparse.coo_matrix((vals, (rows, cols)),
+                              shape=(n_states, n_states))
+        if isinstance(initial, (int, np.integer)):
+            init = np.zeros(n_states)
+            init[int(initial)] = 1.0
+        else:
+            init = initial
+        return cls(q, initial=init, labels=labels)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self._n
+
+    @property
+    def generator(self) -> sparse.csr_matrix:
+        """The infinitesimal generator ``Q`` (CSR, diagonal included)."""
+        return self._q
+
+    @property
+    def initial(self) -> np.ndarray:
+        """Initial probability row vector (copy-safe view)."""
+        return self._initial
+
+    @property
+    def labels(self) -> Sequence[Hashable] | None:
+        """Optional per-state labels."""
+        return self._labels
+
+    @property
+    def output_rates(self) -> np.ndarray:
+        """Total exit rate of every state (``-diag(Q)``)."""
+        return self._out_rates
+
+    @property
+    def max_output_rate(self) -> float:
+        """``max_i -Q[i,i]`` — the minimal valid randomization rate."""
+        return float(self._out_rates.max())
+
+    @property
+    def n_transitions(self) -> int:
+        """Number of nonzero off-diagonal rate entries."""
+        return int(self._q.nnz - np.count_nonzero(self._q.diagonal()))
+
+    def absorbing_states(self) -> np.ndarray:
+        """Indices of states with zero exit rate."""
+        return np.flatnonzero(self._out_rates == 0.0)
+
+    # -- operations --------------------------------------------------------
+
+    def uniformize(self, rate: float | None = None,
+                   slack: float = 1.0) -> tuple[DTMC, float]:
+        """Randomize the chain: return ``(DTMC with P = I + Q/Λ, Λ)``.
+
+        ``rate`` defaults to ``slack * max_output_rate``. ``slack >= 1``
+        may be used to make ``P`` aperiodic (any state keeps a self-loop).
+        """
+        if rate is None:
+            rate = slack * self.max_output_rate
+        if rate < self.max_output_rate * (1.0 - 1e-12) or rate <= 0.0:
+            raise ModelError(
+                f"randomization rate {rate} below max output rate "
+                f"{self.max_output_rate}")
+        p = sparse.eye(self._n, format="csr") + self._q.multiply(1.0 / rate)
+        p = sparse.csr_matrix(p)
+        # Clip the tiny negative diagonal round-off that I + Q/Λ can create.
+        p.data[p.data < 0.0] = 0.0
+        return DTMC(p, initial=self._initial, labels=self._labels,
+                    renormalize=True), float(rate)
+
+    def reachable_from(self, sources: Iterable[int]) -> np.ndarray:
+        """Indices reachable (in the digraph of positive rates) from
+        ``sources``, including the sources themselves (BFS on CSR rows)."""
+        seen = np.zeros(self._n, dtype=bool)
+        stack = [int(s) for s in sources]
+        for s in stack:
+            seen[s] = True
+        indptr, indices, data = self._q.indptr, self._q.indices, self._q.data
+        while stack:
+            i = stack.pop()
+            for k in range(indptr[i], indptr[i + 1]):
+                j = indices[k]
+                if j != i and data[k] > 0.0 and not seen[j]:
+                    seen[j] = True
+                    stack.append(j)
+        return np.flatnonzero(seen)
+
+    def is_irreducible(self) -> bool:
+        """True when every state can reach every other state."""
+        import scipy.sparse.csgraph as csgraph
+        n_comp, _ = csgraph.connected_components(
+            self._q, directed=True, connection="strong")
+        return n_comp == 1
+
+    def restricted_to(self, states: Sequence[int],
+                      initial: np.ndarray | None = None) -> "CTMC":
+        """Sub-chain on ``states`` (rates leaving the subset are dropped,
+        so the result is a valid CTMC on the subset with the leak removed).
+
+        Mostly useful for analysis/testing; the solvers never need it.
+        """
+        idx = np.asarray(states, dtype=int)
+        sub = self._q[idx][:, idx]
+        labels = None
+        if self._labels is not None:
+            labels = [self._labels[i] for i in idx]
+        if initial is None:
+            initial = self._initial[idx]
+            s = initial.sum()
+            if s <= 0:
+                raise ModelError("restriction removes all initial mass")
+            initial = initial / s
+        return CTMC(sub, initial=initial, labels=labels, fix_diagonal=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CTMC(n_states={self._n}, "
+                f"n_transitions={self.n_transitions}, "
+                f"max_output_rate={self.max_output_rate:.6g})")

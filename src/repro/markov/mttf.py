@@ -1,0 +1,104 @@
+"""Mean time to failure / absorption (companion measures to UR(t)).
+
+For a chain with absorbing failure states, the mean time to absorption
+from the initial distribution solves the sparse linear system
+
+    Q_SS · m = −1        (restricted to the transient class S),
+    MTTF = π(0)|_S · m,
+
+the classic dependability companion to the unreliability transient: when
+``UR(t) ≈ 1 − e^{−t/MTTF}`` the two are consistent, and the test-suite
+checks that RRL's UR matches the exponential approximation in the
+rare-event regime. Higher moments come from the same factorization
+(``E[T^k] = k! · π(0) (−Q_SS)^{-k} 1``), giving the squared coefficient
+of variation used to judge how exponential the failure time really is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.linalg import splu
+
+from repro.exceptions import ModelError
+from repro.markov.ctmc import CTMC
+
+__all__ = ["AbsorptionTime", "mean_time_to_absorption"]
+
+
+@dataclass(frozen=True)
+class AbsorptionTime:
+    """First and second moments of the time to absorption.
+
+    Attributes
+    ----------
+    mean:
+        ``E[T]`` — the MTTF when the absorbing states model failure.
+    second_moment:
+        ``E[T²]``.
+    """
+
+    mean: float
+    second_moment: float
+
+    @property
+    def variance(self) -> float:
+        """``Var[T]``."""
+        return self.second_moment - self.mean ** 2
+
+    @property
+    def cv2(self) -> float:
+        """Squared coefficient of variation (1.0 for an exponential)."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.variance / self.mean ** 2
+
+
+def mean_time_to_absorption(model: CTMC) -> AbsorptionTime:
+    """Mean (and second moment) of the time to reach an absorbing state.
+
+    Raises :class:`~repro.exceptions.ModelError` when the model has no
+    absorbing states or absorption is not certain from the initial
+    distribution (a transient state that cannot reach any absorbing
+    state makes the expectation infinite).
+    """
+    absorbing = model.absorbing_states()
+    if absorbing.size == 0:
+        raise ModelError("model has no absorbing states")
+    n = model.n_states
+    mask = np.ones(n, dtype=bool)
+    mask[absorbing] = False
+    trans_idx = np.flatnonzero(mask)
+    if trans_idx.size == 0:
+        return AbsorptionTime(mean=0.0, second_moment=0.0)
+
+    # Absorption must be reachable from every transient state that
+    # carries initial mass (otherwise E[T] = ∞).
+    reach_any = np.zeros(n, dtype=bool)
+    # Work on the reversed graph: states reaching the absorbing set.
+    rev = model.generator.T.tocsr()
+    stack = [int(a) for a in absorbing]
+    reach_any[absorbing] = True
+    indptr, indices, data = rev.indptr, rev.indices, rev.data
+    while stack:
+        i = stack.pop()
+        for k in range(indptr[i], indptr[i + 1]):
+            j = indices[k]
+            if data[k] > 0.0 and j != i and not reach_any[j]:
+                reach_any[j] = True
+                stack.append(int(j))
+    init_support = np.flatnonzero(model.initial > 0.0)
+    if not np.all(reach_any[init_support]):
+        raise ModelError(
+            "absorption is not certain from the initial distribution; "
+            "the mean time to absorption is infinite")
+
+    q_ss = model.generator[trans_idx][:, trans_idx].tocsc()
+    lu = splu(q_ss)
+    ones = np.ones(trans_idx.size)
+    m1 = lu.solve(-ones)                # E[T | start at i]
+    m2 = lu.solve(-2.0 * m1)            # E[T² | start at i]
+    pi0 = model.initial[trans_idx]
+    return AbsorptionTime(mean=float(pi0 @ m1),
+                          second_moment=float(pi0 @ m2))

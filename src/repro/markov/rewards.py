@@ -1,0 +1,113 @@
+"""Reward structures and the two measures of the paper.
+
+The paper assumes a reward rate structure ``r_i >= 0`` over the state space
+and studies two measures:
+
+* ``TRR(t) = E[r_{X(t)}]`` — the *transient reward rate* at time ``t``;
+* ``MRR(t) = E[(1/t) ∫_0^t r_{X(τ)} dτ]`` — the *mean reward rate* over
+  ``[0, t]``.
+
+Point unavailability ``UA(t)`` is ``TRR(t)`` with reward 1 on down states of
+an irreducible model; unreliability ``UR(t)`` is ``TRR(t)`` with reward 1 on
+an absorbing failure state. Helper constructors for both are provided.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import MeasureError
+from repro.markov.ctmc import CTMC
+
+__all__ = ["Measure", "TRR", "MRR", "RewardStructure"]
+
+
+class Measure(enum.Enum):
+    """Which of the paper's two transient measures to compute."""
+
+    TRR = "trr"
+    """Transient (instant-of-time) reward rate at ``t``."""
+
+    MRR = "mrr"
+    """Mean (interval-of-time averaged) reward rate over ``[0, t]``."""
+
+
+#: Convenience aliases so callers can write ``measure=TRR``.
+TRR = Measure.TRR
+MRR = Measure.MRR
+
+
+class RewardStructure:
+    """Non-negative reward rates attached to the states of a chain.
+
+    Parameters
+    ----------
+    rates:
+        Length-``n`` vector of reward rates, all ``>= 0``.
+
+    Notes
+    -----
+    The methods of the paper require ``r_i >= 0``; rewards may be arbitrary
+    otherwise (different rates on absorbing states are explicitly allowed
+    and exercised by the performability examples).
+    """
+
+    def __init__(self, rates: np.ndarray | Iterable[float]) -> None:
+        r = np.asarray(list(rates) if not isinstance(rates, np.ndarray)
+                       else rates, dtype=np.float64)
+        if r.ndim != 1:
+            raise MeasureError("reward rates must be a 1-D vector")
+        if np.any(r < 0.0):
+            raise MeasureError("reward rates must be non-negative")
+        if not np.all(np.isfinite(r)):
+            raise MeasureError("reward rates must be finite")
+        self._r = r
+
+    @classmethod
+    def indicator(cls, n_states: int,
+                  states: Iterable[int]) -> "RewardStructure":
+        """Reward 1 on ``states`` and 0 elsewhere (UA/UR style)."""
+        r = np.zeros(n_states)
+        idx = np.fromiter((int(s) for s in states), dtype=int)
+        if idx.size and (idx.min() < 0 or idx.max() >= n_states):
+            raise MeasureError("indicator state index out of range")
+        r[idx] = 1.0
+        return cls(r)
+
+    @classmethod
+    def constant(cls, n_states: int, value: float = 1.0) -> "RewardStructure":
+        """Same reward on every state (useful for validation: TRR == value)."""
+        return cls(np.full(n_states, float(value)))
+
+    @property
+    def rates(self) -> np.ndarray:
+        """The reward rate vector."""
+        return self._r
+
+    @property
+    def n_states(self) -> int:
+        """Number of states the structure covers."""
+        return self._r.size
+
+    @property
+    def max_rate(self) -> float:
+        """``r_max = max_i r_i`` — all error budgets scale with this."""
+        return float(self._r.max()) if self._r.size else 0.0
+
+    def check_model(self, model: CTMC) -> None:
+        """Raise unless the structure matches ``model``'s state count."""
+        if self._r.size != model.n_states:
+            raise MeasureError(
+                f"reward structure covers {self._r.size} states, model has "
+                f"{model.n_states}")
+
+    def expectation(self, distribution: np.ndarray) -> float:
+        """``Σ_i π_i r_i`` for a probability (or sub-probability) vector."""
+        return float(self._r @ distribution)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RewardStructure(n_states={self._r.size}, "
+                f"max_rate={self.max_rate:.6g})")

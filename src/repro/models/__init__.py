@@ -1,0 +1,45 @@
+"""Model generators: the paper's RAID-5 dependability model plus a library
+of small analytical chains used by tests and examples."""
+
+from repro.models.builder import StateSpaceBuilder, ExploredModel
+from repro.models.raid5 import (
+    Raid5Params,
+    build_raid5_availability,
+    build_raid5_reliability,
+    raid5_performability_rewards,
+)
+from repro.models.multiprocessor import (
+    MultiprocessorParams,
+    build_multiprocessor_availability,
+    build_multiprocessor_reliability,
+    multiprocessor_capacity_rewards,
+)
+from repro.models.library import (
+    two_state_availability,
+    birth_death,
+    erlang_chain,
+    mm1k_queue,
+    cyclic_chain,
+    tandem_repair,
+    random_ctmc,
+)
+
+__all__ = [
+    "StateSpaceBuilder",
+    "ExploredModel",
+    "Raid5Params",
+    "build_raid5_availability",
+    "build_raid5_reliability",
+    "raid5_performability_rewards",
+    "MultiprocessorParams",
+    "build_multiprocessor_availability",
+    "build_multiprocessor_reliability",
+    "multiprocessor_capacity_rewards",
+    "two_state_availability",
+    "birth_death",
+    "erlang_chain",
+    "mm1k_queue",
+    "cyclic_chain",
+    "tandem_repair",
+    "random_ctmc",
+]

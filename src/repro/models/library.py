@@ -1,0 +1,163 @@
+"""Library of small analytical CTMCs for tests, examples and ablations.
+
+Each constructor returns ``(model, rewards)`` (or just the model) with a
+docstring stating the closed-form quantities the test-suite checks
+against. These chains exercise specific solver paths: reducible vs
+irreducible, fast/slow regeneration, absorbing states, periodic DTMC
+structure after uniformization, and stiff rate separation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.markov.ctmc import CTMC
+from repro.markov.rewards import RewardStructure
+
+__all__ = [
+    "two_state_availability",
+    "birth_death",
+    "erlang_chain",
+    "mm1k_queue",
+    "cyclic_chain",
+    "tandem_repair",
+    "random_ctmc",
+]
+
+
+def two_state_availability(fail: float = 1.0, repair: float = 10.0
+                           ) -> tuple[CTMC, RewardStructure]:
+    """Up/down machine: ``0 →(fail) 1 →(repair) 0``, reward 1 on down.
+
+    Closed forms: ``UA(t) = (λ/(λ+μ))(1 − e^{−(λ+μ)t})`` and
+    ``MRR(t) = (λ/(λ+μ))(1 − (1 − e^{−(λ+μ)t})/((λ+μ)t))``.
+    """
+    if fail <= 0.0 or repair <= 0.0:
+        raise ModelError("rates must be positive")
+    model = CTMC.from_transitions(2, [(0, 1, fail), (1, 0, repair)],
+                                  initial=0, labels=["up", "down"])
+    return model, RewardStructure.indicator(2, [1])
+
+
+def birth_death(n: int, birth: float, death: float,
+                initial: int = 0) -> CTMC:
+    """Birth–death chain on ``0..n-1`` with constant rates.
+
+    Stationary distribution: truncated geometric with ratio
+    ``birth/death``.
+    """
+    if n < 2:
+        raise ModelError("need at least 2 states")
+    trans = []
+    for i in range(n - 1):
+        trans.append((i, i + 1, birth))
+        trans.append((i + 1, i, death))
+    labels = [f"level{i}" for i in range(n)]
+    return CTMC.from_transitions(n, trans, initial=initial, labels=labels)
+
+
+def erlang_chain(stages: int, rate: float) -> tuple[CTMC, RewardStructure]:
+    """Pure chain ``0 → 1 → ... → k`` (absorbing), reward 1 on the end.
+
+    ``TRR(t) = P[Erlang(k, rate) <= t]`` — a sharp analytic target for
+    the absorbing-state (unreliability) code path, and a *worst case* for
+    regenerative randomization: the excursion never returns to the
+    regenerative state, so ``a(k)`` stays 1 until absorption dominates.
+    """
+    if stages < 1 or rate <= 0.0:
+        raise ModelError("need stages >= 1 and positive rate")
+    n = stages + 1
+    trans = [(i, i + 1, rate) for i in range(stages)]
+    model = CTMC.from_transitions(n, trans, initial=0)
+    return model, RewardStructure.indicator(n, [stages])
+
+
+def mm1k_queue(capacity: int, arrival: float, service: float,
+               initial: int = 0) -> tuple[CTMC, RewardStructure]:
+    """M/M/1/K queue; the reward is the queue length (performability-style
+    non-indicator rewards).
+
+    ``TRR(t) → E[queue length]`` with the truncated-geometric stationary
+    law as ``t → ∞``.
+    """
+    model = birth_death(capacity + 1, arrival, service, initial=initial)
+    return model, RewardStructure(np.arange(capacity + 1, dtype=float))
+
+
+def cyclic_chain(n: int, rate: float = 1.0) -> CTMC:
+    """Deterministic cycle ``0 → 1 → ... → n-1 → 0``.
+
+    The uniformized DTMC (at the minimal rate) is *periodic*, which
+    stresses steady-state detection: the distribution of ``X̂_n`` never
+    converges even though the CTMC does. Uniformizing with ``slack > 1``
+    restores aperiodicity — tested explicitly.
+    """
+    if n < 2:
+        raise ModelError("need at least 2 states")
+    trans = [(i, (i + 1) % n, rate) for i in range(n)]
+    return CTMC.from_transitions(n, trans, initial=0)
+
+
+def tandem_repair(n_units: int, fail: float, repair: float,
+                  coverage: float = 1.0
+                  ) -> tuple[CTMC, RewardStructure]:
+    """``n`` redundant units with one repairman; system down when all
+    units are failed; imperfect coverage sends a failure straight down.
+
+    A classic stiff dependability model (``repair >> fail``): state ``i``
+    = number of failed units; failure of one of ``n−i`` units at rate
+    ``(n−i)·fail``, covered with probability ``coverage`` (uncovered →
+    jump to the all-failed state); single repairman fixes one unit at
+    ``repair``. Reward 1 on the all-failed (down) state.
+    """
+    if n_units < 1:
+        raise ModelError("need at least one unit")
+    n = n_units + 1
+    down = n_units
+    trans: list[tuple[int, int, float]] = []
+    for i in range(n_units):
+        lam = (n_units - i) * fail
+        if coverage > 0.0 and i + 1 < down:
+            trans.append((i, i + 1, lam * coverage))
+        elif i + 1 == down:
+            trans.append((i, down, lam * coverage))
+        if coverage < 1.0 and i + 1 < down:
+            trans.append((i, down, lam * (1.0 - coverage)))
+        if i > 0:
+            trans.append((i, i - 1, repair))
+    trans.append((down, down - 1, repair))
+    model = CTMC.from_transitions(n, trans, initial=0)
+    return model, RewardStructure.indicator(n, [down])
+
+
+def random_ctmc(n: int, density: float = 0.3, seed: int = 0,
+                absorbing: int = 0, rate_scale: float = 1.0,
+                initial: np.ndarray | int | None = 0) -> CTMC:
+    """Random strongly-connected CTMC plus optional absorbing states.
+
+    States ``0 .. n-absorbing-1`` form the transient/recurrent class (a
+    Hamiltonian ring guarantees strong connectivity); each of the last
+    ``absorbing`` states receives slow inbound arcs from random sources.
+    Used heavily by the property-based tests.
+    """
+    if n < 2 or not (0 <= absorbing < n):
+        raise ModelError("invalid sizes")
+    rng = np.random.default_rng(seed)
+    core = n - absorbing
+    trans: list[tuple[int, int, float]] = []
+    for i in range(core):
+        trans.append((i, (i + 1) % core, float(rng.uniform(0.2, 1.0))
+                      * rate_scale))
+    mask = rng.random((core, core)) < density
+    rates = rng.uniform(0.05, 2.0, size=(core, core)) * rate_scale
+    for i in range(core):
+        for j in range(core):
+            if i != j and mask[i, j]:
+                trans.append((i, j, float(rates[i, j])))
+    for k in range(absorbing):
+        sources = rng.choice(core, size=max(1, core // 3), replace=False)
+        for s in sources:
+            trans.append((int(s), core + k,
+                          float(rng.uniform(0.01, 0.1)) * rate_scale))
+    return CTMC.from_transitions(n, trans, initial=initial)

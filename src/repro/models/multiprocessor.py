@@ -1,0 +1,178 @@
+"""Fault-tolerant multiprocessor model (second domain workload).
+
+The regenerative-randomization papers (the paper's refs. [1, 2]) motivate
+the method with repairable fault-tolerant architectures beyond RAID; the
+classic benchmark is a multiprocessor with ``n_p`` processors and ``n_m``
+memory modules, imperfect failure coverage, and a single repairman:
+
+* the system is operational while at least ``min_p`` processors *and*
+  ``min_m`` memories are up;
+* a component failure is *covered* with probability ``coverage`` —
+  an uncovered failure crashes the whole system (global reboot/repair at
+  ``reboot`` rate returns it to the fully-up state);
+* one repairman fixes failed components one at a time, processors first.
+
+State: ``(failed_processors, failed_memories)`` plus a single CRASHED
+state for uncovered failures; the operational-exhaustion failure (too few
+survivors) also routes to CRASHED in the availability variant, or to the
+absorbing FAILED state in the reliability variant.
+
+The model is deliberately small-state (``O(n_p · n_m)``) but stiff
+(repair ≫ failure) and has a tunable coverage knob — the combination the
+transient solvers find hard and the library's examples/ablations use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+from repro.markov.ctmc import CTMC
+from repro.markov.rewards import RewardStructure
+from repro.models.builder import ExploredModel, StateSpaceBuilder
+
+__all__ = [
+    "MultiprocessorParams",
+    "CRASHED",
+    "build_multiprocessor_availability",
+    "build_multiprocessor_reliability",
+    "multiprocessor_capacity_rewards",
+]
+
+#: Aggregated system-down state (uncovered failure or survivor exhaustion).
+CRASHED = "CRASHED"
+
+
+@dataclass(frozen=True)
+class MultiprocessorParams:
+    """Parameters of the multiprocessor dependability model."""
+
+    processors: int = 4
+    """``n_p`` — number of processors."""
+
+    memories: int = 4
+    """``n_m`` — number of memory modules."""
+
+    min_processors: int = 1
+    """Minimum up processors for the system to be operational."""
+
+    min_memories: int = 1
+    """Minimum up memory modules for the system to be operational."""
+
+    proc_fail: float = 5e-4
+    """Processor failure rate (h⁻¹)."""
+
+    mem_fail: float = 2e-4
+    """Memory-module failure rate (h⁻¹)."""
+
+    coverage: float = 0.98
+    """Probability a component failure is covered by reconfiguration."""
+
+    repair: float = 0.5
+    """Repairman rate (one component at a time, processors first)."""
+
+    reboot: float = 2.0
+    """Global repair/reboot rate from the crashed state (availability
+    variant only)."""
+
+    def __post_init__(self) -> None:
+        if self.processors < self.min_processors or self.min_processors < 1:
+            raise ModelError("need processors >= min_processors >= 1")
+        if self.memories < self.min_memories or self.min_memories < 1:
+            raise ModelError("need memories >= min_memories >= 1")
+        if not (0.0 <= self.coverage <= 1.0):
+            raise ModelError("coverage must be a probability")
+        for name in ("proc_fail", "mem_fail", "repair", "reboot"):
+            if getattr(self, name) < 0.0:
+                raise ModelError(f"{name} must be non-negative")
+
+    @property
+    def initial_state(self) -> tuple[int, int]:
+        """All components up."""
+        return (0, 0)
+
+
+def _transitions(p: MultiprocessorParams, state, *, absorbing: bool):
+    if state == CRASHED:
+        if not absorbing and p.reboot > 0.0:
+            yield p.initial_state, p.reboot
+        return
+    fp, fm = state
+    up_p = p.processors - fp
+    up_m = p.memories - fm
+
+    # Component failures: covered ones degrade, uncovered ones (and the
+    # loss of the last required survivor) crash the system.
+    if up_p > 0 and p.proc_fail > 0.0:
+        rate = up_p * p.proc_fail
+        would_exhaust = (up_p - 1) < p.min_processors
+        if would_exhaust:
+            yield CRASHED, rate
+        else:
+            if p.coverage > 0.0:
+                yield (fp + 1, fm), rate * p.coverage
+            if p.coverage < 1.0:
+                yield CRASHED, rate * (1.0 - p.coverage)
+    if up_m > 0 and p.mem_fail > 0.0:
+        rate = up_m * p.mem_fail
+        would_exhaust = (up_m - 1) < p.min_memories
+        if would_exhaust:
+            yield CRASHED, rate
+        else:
+            if p.coverage > 0.0:
+                yield (fp, fm + 1), rate * p.coverage
+            if p.coverage < 1.0:
+                yield CRASHED, rate * (1.0 - p.coverage)
+
+    # Single repairman, processors first.
+    if fp > 0 and p.repair > 0.0:
+        yield (fp - 1, fm), p.repair
+    elif fm > 0 and p.repair > 0.0:
+        yield (fp, fm - 1), p.repair
+
+
+def _build(p: MultiprocessorParams, absorbing: bool) -> ExploredModel:
+    builder = StateSpaceBuilder(
+        lambda s: _transitions(p, s, absorbing=absorbing))
+    return builder.explore(p.initial_state)
+
+
+def build_multiprocessor_availability(
+        params: MultiprocessorParams | None = None
+) -> tuple[CTMC, RewardStructure, ExploredModel]:
+    """Irreducible variant: reward 1 on CRASHED (point unavailability)."""
+    p = params or MultiprocessorParams()
+    if p.reboot <= 0.0:
+        raise ModelError("availability variant needs reboot > 0")
+    explored = _build(p, absorbing=False)
+    rewards = RewardStructure.indicator(
+        explored.model.n_states, [explored.state_index(CRASHED)])
+    return explored.model, rewards, explored
+
+
+def build_multiprocessor_reliability(
+        params: MultiprocessorParams | None = None
+) -> tuple[CTMC, RewardStructure, ExploredModel]:
+    """Absorbing variant: CRASHED absorbs (unreliability)."""
+    p = params or MultiprocessorParams()
+    explored = _build(p, absorbing=True)
+    rewards = RewardStructure.indicator(
+        explored.model.n_states, [explored.state_index(CRASHED)])
+    return explored.model, rewards, explored
+
+
+def multiprocessor_capacity_rewards(explored: ExploredModel,
+                                    params: MultiprocessorParams | None = None
+                                    ) -> RewardStructure:
+    """Performability rewards: computing capacity ``min(up_p, up_m)``
+    (each active processor needs a memory module to be useful)."""
+    import numpy as np
+
+    p = params or MultiprocessorParams()
+    r = np.zeros(explored.model.n_states)
+    for state, idx in explored.index.items():
+        if state == CRASHED:
+            continue
+        fp, fm = state
+        r[idx] = float(min(p.processors - fp, p.memories - fm))
+    return RewardStructure(r)

@@ -1,0 +1,68 @@
+"""Command-line interface: every subcommand must run and print sanely."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.model == "raid-ur"
+        assert args.method == "RRL"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--method", "FFT"])
+
+
+class TestCommands:
+    def test_solve_trr(self, capsys):
+        rc = main(["solve", "--model", "raid-ur", "--groups", "4",
+                   "--times", "10", "100", "--eps", "1e-9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TRR of raid-ur" in out
+        assert "steps" in out
+
+    def test_solve_mrr_with_sr(self, capsys):
+        rc = main(["solve", "--model", "raid-ua", "--groups", "4",
+                   "--measure", "mrr", "--method", "SR",
+                   "--times", "10", "--eps", "1e-9"])
+        assert rc == 0
+        assert "MRR" in capsys.readouterr().out
+
+    def test_table1_small(self, capsys):
+        rc = main(["table1", "--groups", "4", "--times", "1", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 1" in out and "RSD" in out
+
+    def test_table2_small(self, capsys):
+        rc = main(["table2", "--groups", "4", "--times", "1", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 2" in out and "SR" in out
+
+    def test_figure4_small_with_budget(self, capsys):
+        rc = main(["figure4", "--groups", "4", "--times", "1", "100",
+                   "--sr-budget", "10000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Figure 4" in out
+
+    def test_mttf(self, capsys):
+        rc = main(["mttf", "--groups", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MTTF" in out and "cv²" in out
+
+    def test_diagnose(self, capsys):
+        rc = main(["diagnose", "--groups", "4", "--top", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "decay" in out

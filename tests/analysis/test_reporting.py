@@ -1,0 +1,34 @@
+"""Monospace table and series rendering."""
+
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table("Title", ["a", "bbbb"], [[1, 2.5], [30, None]])
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert "bbbb" in lines[1]
+        assert "—" in lines[-1]
+
+    def test_float_formatting(self):
+        out = format_table("T", ["x"], [[0.123456789]])
+        assert "0.123457" in out
+
+    def test_note_appended(self):
+        out = format_table("T", ["x"], [[1]], note="hello")
+        assert out.endswith("hello")
+
+    def test_empty_rows(self):
+        out = format_table("T", ["x", "y"], [])
+        assert "x" in out and "y" in out
+
+
+class TestFormatSeries:
+    def test_labels_and_nones(self):
+        out = format_series("Fig", "t", [1.0, 10.0],
+                            {"G=5, RRL": [0.1, 0.2],
+                             "G=5, SR": [0.3, None]})
+        assert "G=5, RRL" in out
+        assert "—" in out
+        assert "[seconds]" in out

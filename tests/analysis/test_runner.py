@@ -1,0 +1,46 @@
+"""Solver registry and the one-call solve() front door."""
+
+import numpy as np
+import pytest
+
+from repro import TRR, RRLSolver
+from repro.analysis import SOLVER_REGISTRY, get_solver, solve
+from tests.conftest import exact_two_state_ua
+
+
+class TestRegistry:
+    def test_all_methods_present(self):
+        assert set(SOLVER_REGISTRY) == {"RRL", "RR", "SR", "RSD", "AU",
+                                        "ODE", "MS"}
+
+    def test_case_insensitive(self):
+        assert isinstance(get_solver("rrl"), RRLSolver)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            get_solver("FFT")
+
+    def test_kwargs_forwarded(self):
+        s = get_solver("RRL", t_factor=4.0)
+        assert s._t_factor == 4.0
+
+
+class TestSolve:
+    @pytest.mark.parametrize("method", ["RRL", "RR", "SR", "RSD", "AU",
+                                        "ODE"])
+    def test_every_method_solves(self, method, two_state):
+        model, rewards, *_ = two_state
+        sol = solve(model, rewards, TRR, [1.0], eps=1e-9, method=method)
+        assert sol.values[0] == pytest.approx(exact_two_state_ua(1.0),
+                                              abs=1e-8)
+        assert sol.method == method
+
+    def test_scalar_time(self, two_state):
+        model, rewards, *_ = two_state
+        sol = solve(model, rewards, TRR, 2.5, eps=1e-9)
+        assert sol.times.shape == (1,)
+
+    def test_default_method_is_rrl(self, two_state):
+        model, rewards, *_ = two_state
+        sol = solve(model, rewards, TRR, [1.0], eps=1e-9)
+        assert sol.method == "RRL"

@@ -1,0 +1,57 @@
+"""Cross-method validation utility."""
+
+import numpy as np
+import pytest
+
+from repro import TRR, MRR, RewardStructure
+from repro.analysis.validation import cross_validate
+from repro.models import random_ctmc
+
+
+class TestCrossValidate:
+    def test_default_methods_irreducible(self, random_irreducible):
+        rewards = RewardStructure.indicator(15, [4])
+        report = cross_validate(random_irreducible, rewards, TRR,
+                                [1.0, 10.0], eps=1e-9)
+        assert set(report.solutions) == {"RRL", "RR", "SR", "RSD"}
+        assert report.passed, report.render()
+
+    def test_default_methods_absorbing(self, random_absorbing):
+        n = random_absorbing.n_states
+        rewards = RewardStructure.indicator(n, [n - 1])
+        report = cross_validate(random_absorbing, rewards, TRR, [2.0],
+                                eps=1e-9)
+        assert "RSD" not in report.solutions
+        assert report.passed
+
+    def test_mrr(self, random_irreducible):
+        rewards = RewardStructure(np.linspace(0, 1, 15))
+        report = cross_validate(random_irreducible, rewards, MRR, [5.0],
+                                eps=1e-9, methods=("RRL", "SR"))
+        assert report.passed
+
+    def test_ode_gets_slack(self, two_state):
+        model, rewards, *_ = two_state
+        report = cross_validate(model, rewards, TRR, [1.0], eps=1e-10,
+                                methods=("RRL", "ODE"))
+        pair = ("ODE", "RRL")
+        assert report.tolerance[pair] > 10 * report.tolerance.get(
+            ("RR", "RRL"), 2e-10)
+        assert report.passed
+
+    def test_worst_pair_and_render(self, random_irreducible):
+        rewards = RewardStructure.indicator(15, [2])
+        report = cross_validate(random_irreducible, rewards, TRR, [1.0],
+                                eps=1e-9, methods=("RRL", "SR"))
+        pair, dev = report.worst_pair()
+        assert pair == ("RRL", "SR")
+        out = report.render()
+        assert "PASSED" in out and "RRL vs SR" in out
+
+    def test_cli_validate(self, capsys):
+        from repro.cli import main
+        rc = main(["validate", "--groups", "4", "--times", "1", "10",
+                   "--eps", "1e-9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASSED" in out

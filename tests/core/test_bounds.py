@@ -1,0 +1,81 @@
+"""Certified bounds variant: the sandwich must contain the SR reference."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MRR,
+    TRR,
+    RewardStructure,
+    RRLBoundsSolver,
+    StandardRandomizationSolver,
+)
+from repro.models import Raid5Params, build_raid5_reliability, random_ctmc
+from tests.conftest import exact_two_state_ua
+
+
+class TestSandwich:
+    def test_two_state(self, two_state):
+        model, rewards, *_ = two_state
+        times = [0.1, 1.0, 10.0]
+        b = RRLBoundsSolver().solve_bounds(model, rewards, TRR, times,
+                                           eps=1e-11)
+        exact = exact_two_state_ua(times)
+        assert np.all(b.lower <= exact + 1e-10)
+        assert np.all(exact <= b.upper + 1e-10)
+        assert np.all(b.width >= -1e-12)
+
+    @pytest.mark.parametrize("measure", [TRR, MRR])
+    def test_random_chain_contains_reference(self, measure):
+        model = random_ctmc(10, density=0.4, seed=55, absorbing=1)
+        rewards = RewardStructure(np.linspace(0.1, 1.0, 10))
+        times = [1.0, 10.0]
+        ref = StandardRandomizationSolver().solve(model, rewards, measure,
+                                                  times, eps=1e-13)
+        b = RRLBoundsSolver().solve_bounds(model, rewards, measure, times,
+                                           eps=1e-10)
+        slack = 1e-9
+        assert np.all(b.lower <= ref.values + slack)
+        assert np.all(ref.values <= b.upper + slack)
+
+    def test_width_is_realized_truncation_loss(self):
+        model = random_ctmc(10, density=0.4, seed=55)
+        rewards = RewardStructure.indicator(10, [3])
+        b = RRLBoundsSolver().solve_bounds(model, rewards, TRR, [5.0],
+                                           eps=1e-8)
+        # Width must be far below the a-priori eps/2 selection budget —
+        # the union bound is conservative.
+        assert b.width[0] <= 0.5e-8
+        assert b.stats["p_absorbed"][0] >= -1e-12
+
+    def test_midpoint_between_bounds(self, two_state):
+        model, rewards, *_ = two_state
+        b = RRLBoundsSolver().solve_bounds(model, rewards, TRR, [1.0],
+                                           eps=1e-10)
+        assert b.lower[0] <= b.midpoint[0] <= b.upper[0]
+
+    def test_upper_clipped_at_rmax(self):
+        model = random_ctmc(6, density=0.5, seed=2)
+        rewards = RewardStructure.constant(6, 3.0)
+        b = RRLBoundsSolver().solve_bounds(model, rewards, TRR, [1.0],
+                                           eps=1e-6)
+        assert np.all(b.upper <= 3.0 + 1e-12)
+
+    def test_zero_rewards(self, two_state):
+        model, _, *_ = two_state
+        rewards = RewardStructure.indicator(2, [])
+        b = RRLBoundsSolver().solve_bounds(model, rewards, TRR, [1.0])
+        assert b.lower[0] == b.upper[0] == 0.0
+
+    def test_raid_certificate(self):
+        model, rewards, _ = build_raid5_reliability(Raid5Params(groups=4))
+        b = RRLBoundsSolver().solve_bounds(model, rewards, TRR,
+                                           [10.0, 1000.0], eps=1e-12)
+        assert np.all(b.width <= 1e-12)
+        assert np.all(np.diff(b.lower) > 0)  # UR grows
+
+    def test_invalid_eps(self, two_state):
+        model, rewards, *_ = two_state
+        with pytest.raises(ValueError):
+            RRLBoundsSolver().solve_bounds(model, rewards, TRR, [1.0],
+                                           eps=0.0)

@@ -1,0 +1,59 @@
+"""Solver preparation: regenerative-state defaults and setup wiring."""
+
+import numpy as np
+import pytest
+
+from repro import CTMC, RewardStructure
+from repro.core._setup import default_regenerative_state, prepare
+from repro.exceptions import ModelError
+from repro.models import erlang_chain, random_ctmc
+
+
+class TestDefaultRegenerative:
+    def test_most_likely_initial_state(self):
+        init = np.zeros(6)
+        init[2], init[4] = 0.7, 0.3
+        model = random_ctmc(6, density=0.5, seed=1, initial=init)
+        assert default_regenerative_state(model) == 2
+
+    def test_absorbing_states_excluded(self):
+        # Initial mass on a transient state; absorbing state must never
+        # be chosen even if ties would favour it.
+        model = CTMC.from_transitions(3, [(0, 1, 1.0), (1, 0, 1.0),
+                                          (1, 2, 0.1)], initial=0)
+        assert default_regenerative_state(model) == 0
+
+    def test_all_absorbing_rejected(self):
+        model = CTMC.from_transitions(2, [], initial=0)
+        with pytest.raises(ModelError):
+            default_regenerative_state(model)
+
+
+class TestPrepare:
+    def test_alpha_r_and_primed(self):
+        init = np.zeros(8)
+        init[0], init[3] = 0.25, 0.75
+        model = random_ctmc(8, density=0.5, seed=9, initial=init)
+        rewards = RewardStructure.constant(8)
+        setup = prepare(model, rewards, None, None)
+        assert setup.regenerative == 3
+        assert setup.alpha_r == pytest.approx(0.75)
+        assert setup.primed is not None
+        assert setup.primed.a_at(0) == pytest.approx(0.25)
+
+    def test_no_primed_when_concentrated(self, two_state):
+        model, rewards, *_ = two_state
+        setup = prepare(model, rewards, None, None)
+        assert setup.primed is None
+        assert setup.alpha_r == 1.0
+
+    def test_absorbing_rewards_aligned(self):
+        model, rewards = erlang_chain(3, 1.0)
+        setup = prepare(model, rewards, 0, None)
+        assert list(setup.absorbing) == [3]
+        assert setup.absorbing_rewards[0] == 1.0
+
+    def test_custom_rate_respected(self, two_state):
+        model, rewards, *_ = two_state
+        setup = prepare(model, rewards, None, 50.0)
+        assert setup.rate == 50.0

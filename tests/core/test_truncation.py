@@ -1,0 +1,108 @@
+"""Truncation-point selection: minimality, validity, budget splitting."""
+
+import numpy as np
+import pytest
+
+from repro import RewardStructure
+from repro.core.schedules import ScheduleBuilder
+from repro.core.truncation import (
+    TruncationChoice,
+    select_truncation,
+    truncation_error_bound,
+)
+from repro.exceptions import TruncationError
+from repro.markov.poisson import poisson_expected_excess
+from repro.models import erlang_chain, random_ctmc
+
+
+def builders_for(model, rewards, reg=0):
+    main, primed, rate, _ = ScheduleBuilder.for_model(model, rewards, reg)
+    return main, primed, rate
+
+
+class TestSelection:
+    def test_bound_achieved(self, random_irreducible):
+        rewards = RewardStructure.constant(15)
+        main, primed, rate = builders_for(random_irreducible, rewards)
+        choice = select_truncation(main, primed, rate, t=10.0,
+                                   eps_budget=1e-10, r_max=1.0)
+        assert choice.error_bound <= 1e-10
+
+    def test_minimality(self, random_irreducible):
+        rewards = RewardStructure.constant(15)
+        main, primed, rate = builders_for(random_irreducible, rewards)
+        choice = select_truncation(main, primed, rate, t=10.0,
+                                   eps_budget=1e-10, r_max=1.0)
+        k = choice.k_point
+        if k > 0:
+            prev = (main.a_at(k - 1)
+                    * poisson_expected_excess(rate * 10.0, k - 1))
+            assert prev > 1e-10  # k-1 would not satisfy the budget
+
+    def test_steps_property(self):
+        c = TruncationChoice(k_point=7, l_point=3, error_bound=0.0)
+        assert c.steps == 10
+        c2 = TruncationChoice(k_point=7, l_point=None, error_bound=0.0)
+        assert c2.steps == 7
+
+    def test_k_grows_with_t(self, random_irreducible):
+        rewards = RewardStructure.constant(15)
+        main, primed, rate = builders_for(random_irreducible, rewards)
+        ks = [select_truncation(main, primed, rate, t, 1e-10, 1.0).k_point
+              for t in (1.0, 10.0, 100.0)]
+        assert ks[0] <= ks[1] <= ks[2]
+
+    def test_k_shrinks_with_eps(self, random_irreducible):
+        rewards = RewardStructure.constant(15)
+        main, primed, rate = builders_for(random_irreducible, rewards)
+        loose = select_truncation(main, primed, rate, 10.0, 1e-4, 1.0)
+        tight = select_truncation(main, primed, rate, 10.0, 1e-13, 1.0)
+        assert loose.k_point <= tight.k_point
+
+    def test_zero_rmax_trivial(self, random_irreducible):
+        rewards = RewardStructure.constant(15)
+        main, primed, rate = builders_for(random_irreducible, rewards)
+        choice = select_truncation(main, primed, rate, 10.0, 1e-10, 0.0)
+        assert choice.k_point == 0
+        assert choice.error_bound == 0.0
+
+    def test_exhausted_schedule_short_circuit(self, two_state):
+        model, rewards, *_ = two_state
+        main, primed, rate = builders_for(model, rewards)
+        choice = select_truncation(main, primed, rate, 1e6, 1e-13, 1.0)
+        assert choice.k_point <= 2  # schedule exhausts at a(2) = 0
+        assert choice.error_bound == 0.0
+
+    def test_hard_cap_raises(self):
+        # An Erlang chain never regenerates: a(k) stays ~1 for many steps,
+        # so a tiny cap must trip the guard.
+        model, rewards = erlang_chain(50, 1.0)
+        main, primed, rate = builders_for(model, rewards)
+        with pytest.raises(TruncationError):
+            select_truncation(main, primed, rate, 50.0, 1e-12, 1.0,
+                              hard_cap=5)
+
+    def test_validation(self, random_irreducible):
+        rewards = RewardStructure.constant(15)
+        main, primed, rate = builders_for(random_irreducible, rewards)
+        with pytest.raises(ValueError):
+            select_truncation(main, primed, rate, -1.0, 1e-10, 1.0)
+        with pytest.raises(ValueError):
+            select_truncation(main, primed, rate, 1.0, 0.0, 1.0)
+
+
+class TestBoundFunction:
+    def test_additivity(self):
+        b_main = truncation_error_bound(0.5, 3, None, None, 10.0, 2.0)
+        b_both = truncation_error_bound(0.5, 3, 0.25, 2, 10.0, 2.0)
+        assert b_both > b_main
+
+    def test_scales_with_rmax(self):
+        b1 = truncation_error_bound(0.5, 3, None, None, 10.0, 1.0)
+        b2 = truncation_error_bound(0.5, 3, None, None, 10.0, 3.0)
+        assert b2 == pytest.approx(3.0 * b1)
+
+    def test_primed_uses_tail_probability(self):
+        # With a'(L)=1 and L=0 the primed term is r_max·P[N >= 1] <= r_max.
+        b = truncation_error_bound(0.0, 0, 1.0, 0, 5.0, 1.0)
+        assert 0.9 < b <= 1.0

@@ -1,0 +1,101 @@
+"""Explicit V_{K,L} construction: structure, rates, rewards, initial."""
+
+import numpy as np
+import pytest
+
+from repro import RewardStructure
+from repro.core.schedules import ScheduleBuilder
+from repro.core.vkl import build_vkl
+from repro.exceptions import ModelError
+from repro.models import random_ctmc
+
+
+def setup_schedules(n=10, seed=3, absorbing=1, init_split=None):
+    if init_split is None:
+        initial = 0
+    else:
+        initial = np.zeros(n)
+        initial[0] = init_split
+        initial[1] = 1.0 - init_split
+    model = random_ctmc(n, density=0.4, seed=seed, absorbing=absorbing,
+                        initial=initial)
+    rewards = RewardStructure(np.linspace(0.5, 2.0, n))
+    main, primed, rate, abs_idx = ScheduleBuilder.for_model(model, rewards, 0)
+    main.extend_to(12)
+    if primed is not None:
+        primed.extend_to(12)
+    return model, rewards, main, primed, rate, abs_idx
+
+
+class TestStructure:
+    def test_state_layout_alpha1(self):
+        model, rewards, main, primed, rate, abs_idx = setup_schedules()
+        assert primed is None
+        k = 8
+        v, vr = build_vkl(main.snapshot(), None, k, None, rate,
+                          rewards.rates[abs_idx], alpha_r=1.0)
+        # s_0..s_K + A absorbing + sink a.
+        assert v.n_states == (k + 1) + abs_idx.size + 1
+        assert v.labels[0] == ("s", 0)
+        assert v.labels[-1] == ("a",)
+
+    def test_state_layout_with_primed(self):
+        model, rewards, main, primed, rate, abs_idx = setup_schedules(
+            init_split=0.7)
+        assert primed is not None
+        k, lp = 8, 6
+        v, vr = build_vkl(main.snapshot(), primed.snapshot(), k, lp, rate,
+                          rewards.rates[abs_idx], alpha_r=0.7)
+        assert v.n_states == (k + 1) + (lp + 1) + abs_idx.size + 1
+        assert np.isclose(v.initial[0], 0.7)
+        assert np.isclose(v.initial[k + 1], 0.3)
+
+    def test_exit_rates_are_lambda(self):
+        model, rewards, main, primed, rate, abs_idx = setup_schedules()
+        k = 8
+        v, _ = build_vkl(main.snapshot(), None, k, None, rate,
+                         rewards.rates[abs_idx], alpha_r=1.0)
+        out = v.output_rates
+        # s_1..s_K all exit at Λ; s_0 exits at Λ(1 - q_0) since its
+        # self-loop is dropped; absorbing f_i and the sink a exit at 0.
+        sched = main.snapshot()
+        q0 = sched.qmass[0] / sched.a[0]
+        assert out[0] == pytest.approx(rate * (1.0 - q0), rel=1e-12)
+        for i in range(1, k + 1):
+            assert out[i] == pytest.approx(rate, rel=1e-12)
+        assert np.allclose(out[k + 1:], 0.0)
+
+    def test_rewards_are_conditional(self):
+        model, rewards, main, primed, rate, abs_idx = setup_schedules()
+        k = 6
+        sched = main.snapshot()
+        _, vr = build_vkl(sched, None, k, None, rate,
+                          rewards.rates[abs_idx], alpha_r=1.0)
+        for i in range(k + 1):
+            assert vr.rates[i] == pytest.approx(sched.b(i))
+        assert vr.rates[-1] == 0.0  # the sink a carries no reward
+
+    def test_absorbing_rewards_preserved(self):
+        model, rewards, main, primed, rate, abs_idx = setup_schedules()
+        k = 6
+        _, vr = build_vkl(main.snapshot(), None, k, None, rate,
+                          rewards.rates[abs_idx], alpha_r=1.0)
+        assert vr.rates[k + 1] == pytest.approx(rewards.rates[abs_idx[0]])
+
+    def test_mismatched_primed_args_rejected(self):
+        model, rewards, main, primed, rate, abs_idx = setup_schedules()
+        with pytest.raises(ModelError):
+            build_vkl(main.snapshot(), None, 5, 3, rate,
+                      rewards.rates[abs_idx], alpha_r=1.0)
+
+    def test_alpha_below_one_needs_primed(self):
+        model, rewards, main, primed, rate, abs_idx = setup_schedules()
+        with pytest.raises(ModelError):
+            build_vkl(main.snapshot(), None, 5, None, rate,
+                      rewards.rates[abs_idx], alpha_r=0.5)
+
+    def test_too_short_schedule_rejected(self):
+        model, rewards, main, primed, rate, abs_idx = setup_schedules()
+        with pytest.raises(ModelError):
+            build_vkl(main.snapshot(), None, 500, None, rate,
+                      rewards.rates[abs_idx], alpha_r=1.0)

@@ -1,0 +1,55 @@
+"""Durbin series terms and partial sums against known transforms."""
+
+import numpy as np
+import pytest
+
+from repro.laplace.durbin import durbin_partial_sums, durbin_terms
+
+
+def inv_exp(decay):
+    """Transform of e^{-decay·t}: 1/(s + decay)."""
+    return lambda s: 1.0 / (s + decay)
+
+
+class TestDurbinSeries:
+    def test_first_term_is_half_f_at_a(self):
+        t, a, T = 1.0, 0.5, 8.0
+        gen = durbin_terms(inv_exp(1.0), t, a, T, max_terms=5)
+        first = next(gen)
+        expected = np.exp(a * t) / T * (1.0 / (a + 1.0)) / 2.0
+        assert first == pytest.approx(expected, rel=1e-12)
+
+    def test_partial_sums_accumulate(self):
+        t, a, T = 1.0, 0.5, 8.0
+        terms = list(durbin_terms(inv_exp(1.0), t, a, T, max_terms=40))
+        sums = list(durbin_partial_sums(inv_exp(1.0), t, a, T, max_terms=40))
+        assert sums[0] == pytest.approx(terms[0])
+        assert sums[-1] == pytest.approx(sum(terms), rel=1e-12)
+
+    def test_raw_series_approaches_target(self):
+        # Without acceleration the truncated Durbin sum converges slowly
+        # but visibly toward e^{-t}; check the trend over many terms.
+        t, T = 1.0, 8.0
+        a = np.log(1.0 + 4.0 / 1e-8) / (2.0 * T)
+        sums = np.fromiter(
+            durbin_partial_sums(inv_exp(1.0), t, a, T, max_terms=4000),
+            dtype=float)
+        target = np.exp(-t)
+        # Tail average smooths the Gibbs oscillation.
+        assert np.mean(sums[-500:]) == pytest.approx(target, abs=1e-3)
+
+    def test_max_terms_respected(self):
+        out = list(durbin_terms(inv_exp(2.0), 1.0, 0.3, 8.0, max_terms=17))
+        assert len(out) == 17
+
+    def test_batching_equivalence(self):
+        args = (inv_exp(0.7), 2.0, 0.4, 16.0, 50)
+        one = list(durbin_terms(*args, batch=1))
+        big = list(durbin_terms(*args, batch=32))
+        assert np.allclose(one, big, rtol=1e-13)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            next(durbin_terms(inv_exp(1.0), 0.0, 0.1, 8.0, 5))
+        with pytest.raises(ValueError):
+            next(durbin_terms(inv_exp(1.0), 1.0, 0.1, -8.0, 5))

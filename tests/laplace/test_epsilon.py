@@ -1,0 +1,91 @@
+"""Wynn epsilon algorithm: acceleration of classic slowly-convergent
+series and degeneracy handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.laplace.epsilon import EpsilonAccelerator, wynn_epsilon
+
+
+def partial_sums(terms):
+    return np.cumsum(np.asarray(terms, dtype=float))
+
+
+class TestAcceleration:
+    def test_geometric_series_exact(self):
+        # Σ x^k = 1/(1-x): the Shanks transform is exact for geometric
+        # sequences after a handful of terms.
+        x = 0.7
+        sums = partial_sums(x ** np.arange(12))
+        est = wynn_epsilon(sums)
+        assert est == pytest.approx(1.0 / (1.0 - x), abs=1e-12)
+
+    def test_alternating_log2(self):
+        # Σ (-1)^{k+1}/k = ln 2 converges like 1/n; epsilon makes 20 terms
+        # worth ~1e-12 — the same mechanism Crump's inversion relies on.
+        k = np.arange(1, 22, dtype=float)
+        sums = partial_sums((-1.0) ** (k + 1) / k)
+        est = wynn_epsilon(sums)
+        assert est == pytest.approx(np.log(2.0), abs=1e-10)
+        # Raw partial sums are nowhere near that accurate.
+        assert abs(sums[-1] - np.log(2.0)) > 1e-2
+
+    def test_pi_leibniz(self):
+        k = np.arange(0, 25, dtype=float)
+        sums = partial_sums((-1.0) ** k / (2.0 * k + 1.0))
+        est = wynn_epsilon(sums)
+        assert est == pytest.approx(np.pi / 4.0, abs=1e-10)
+
+    def test_incremental_matches_batch(self):
+        x = 0.5
+        sums = partial_sums(x ** np.arange(10))
+        acc = EpsilonAccelerator()
+        last = None
+        for s in sums:
+            last = acc.add(s)
+        assert last == pytest.approx(wynn_epsilon(sums), abs=0.0)
+        assert acc.n_terms == 10
+        assert acc.estimate == last
+
+
+class TestDegeneracy:
+    def test_constant_sequence(self):
+        # Identical partial sums (already converged): no division blowup.
+        acc = EpsilonAccelerator()
+        for _ in range(8):
+            est = acc.add(4.25)
+        assert est == 4.25
+
+    def test_eventually_constant(self):
+        sums = [1.0, 1.5, 1.75, 2.0, 2.0, 2.0, 2.0]
+        acc = EpsilonAccelerator()
+        for s in sums:
+            est = acc.add(s)
+        assert est == pytest.approx(2.0)
+        assert np.isfinite(est)
+
+    def test_zero_terms(self):
+        acc = EpsilonAccelerator()
+        assert acc.n_terms == 0
+        assert acc.estimate == 0.0
+
+    def test_single_term(self):
+        acc = EpsilonAccelerator()
+        assert acc.add(3.0) == 3.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(ratio=st.floats(min_value=-0.9, max_value=0.9),
+       scale=st.floats(min_value=0.1, max_value=100.0),
+       n=st.integers(min_value=6, max_value=25))
+def test_geometric_property(ratio, scale, n):
+    """Property: epsilon recovers the limit of any geometric series to
+    near machine precision, regardless of sign/scale."""
+    if abs(ratio) < 1e-6:
+        ratio = 0.5
+    sums = partial_sums(scale * ratio ** np.arange(n))
+    est = wynn_epsilon(sums)
+    limit = scale / (1.0 - ratio)
+    assert est == pytest.approx(limit, rel=1e-8, abs=1e-8)

@@ -1,0 +1,62 @@
+"""Gaver–Stehfest comparator: correct weights, limited accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.laplace.gaver import invert_gaver_stehfest, stehfest_weights
+from repro.laplace.inversion import invert_bounded
+
+
+class TestWeights:
+    def test_textbook_m3(self):
+        assert stehfest_weights(3) == (1.0, -49.0, 366.0, -858.0, 810.0,
+                                       -270.0)
+
+    def test_weights_sum_to_zero_m_ge_2(self):
+        # Σ ζ_k = 0 for M >= 2 (the rule integrates constants exactly via
+        # the 1/s factor, so the raw weights cancel).
+        for m in (2, 4, 7):
+            assert sum(stehfest_weights(m)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            stehfest_weights(0)
+
+
+class TestInversion:
+    def test_exponential_moderate_accuracy(self):
+        t = 2.0
+        res = invert_gaver_stehfest(lambda s: 1.0 / (s + 1.0), t, m=7)
+        assert res.value == pytest.approx(np.exp(-t), abs=1e-4)
+        assert res.n_abscissae == 14
+
+    def test_constant(self):
+        res = invert_gaver_stehfest(lambda s: 5.0 / s, 3.0, m=6)
+        assert res.value == pytest.approx(5.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            invert_gaver_stehfest(lambda s: 1.0 / s, 0.0)
+
+    def test_durbin_beats_gaver_at_tight_eps(self):
+        """The design-choice ablation in miniature: at ε = 1e-12 Durbin
+        delivers, Gaver–Stehfest structurally cannot (double precision
+        caps it at ~1e-5)."""
+        t, decay = 1.0, 0.5
+        exact = np.exp(-decay * t)
+        durbin = invert_bounded(lambda s: 1.0 / (s + decay), t, eps=1e-12,
+                                bound=1.0)
+        gs = invert_gaver_stehfest(lambda s: 1.0 / (s + decay), t, m=7)
+        assert abs(durbin.value - exact) <= 1e-12
+        assert abs(gs.value - exact) > 1e-9
+
+    def test_increasing_m_diverges_in_double_precision(self):
+        # Beyond the sweet spot the weights (±1e9 at M=7, ±1e13 at M=10)
+        # amplify round-off; accuracy stops improving or degrades.
+        t, decay = 1.0, 1.0
+        exact = np.exp(-t)
+        err7 = abs(invert_gaver_stehfest(
+            lambda s: 1.0 / (s + decay), t, m=7).value - exact)
+        err12 = abs(invert_gaver_stehfest(
+            lambda s: 1.0 / (s + decay), t, m=12).value - exact)
+        assert err12 > err7 / 10  # no miracle 10x gain past the ceiling

@@ -1,0 +1,109 @@
+"""End-to-end numerical inversion with the paper's error control."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InversionError
+from repro.laplace.inversion import invert, invert_bounded, invert_cumulative
+
+
+class TestBoundedInversion:
+    @pytest.mark.parametrize("t", [0.1, 1.0, 10.0, 1e3])
+    def test_exponential(self, t):
+        decay = 0.8
+        res = invert_bounded(lambda s: 1.0 / (s + decay), t, eps=1e-10,
+                             bound=1.0)
+        assert res.value == pytest.approx(np.exp(-decay * t), abs=1e-10)
+
+    def test_constant_function(self):
+        # f(t) = c has transform c/s; bounded by c.
+        res = invert_bounded(lambda s: 3.0 / s, 5.0, eps=1e-10, bound=3.0)
+        assert res.value == pytest.approx(3.0, abs=1e-9)
+
+    def test_damped_cosine(self):
+        # f(t) = e^{-t} cos(2t): F = (s+1)/((s+1)^2+4).
+        t = 2.0
+        res = invert_bounded(lambda s: (s + 1.0) / ((s + 1.0) ** 2 + 4.0),
+                             t, eps=1e-9, bound=1.0)
+        assert res.value == pytest.approx(np.exp(-t) * np.cos(2 * t),
+                                          abs=1e-9)
+
+    def test_two_state_unavailability_transform(self):
+        # UA(t) of the λ/μ machine: F(s) = λ/(s(s+λ+μ)).
+        lam, mu, t = 1.0, 10.0, 3.0
+        res = invert_bounded(lambda s: lam / (s * (s + lam + mu)), t,
+                             eps=1e-11, bound=1.0)
+        exact = lam / (lam + mu) * (1.0 - np.exp(-(lam + mu) * t))
+        assert res.value == pytest.approx(exact, abs=1e-11)
+
+    def test_abscissa_count_reported(self):
+        res = invert_bounded(lambda s: 1.0 / (s + 1.0), 1.0, eps=1e-10,
+                             bound=1.0)
+        assert res.n_abscissae >= 8
+        assert res.t_period == pytest.approx(8.0)
+        assert res.damping > 0.0
+
+    def test_t_factor(self):
+        res = invert_bounded(lambda s: 1.0 / (s + 1.0), 1.0, eps=1e-8,
+                             bound=1.0, t_factor=16.0)
+        assert res.t_period == pytest.approx(16.0)
+        assert res.value == pytest.approx(np.exp(-1.0), abs=1e-8)
+
+    def test_max_terms_exhaustion_raises(self):
+        with pytest.raises(InversionError):
+            invert_bounded(lambda s: 1.0 / (s + 1.0), 1.0, eps=1e-12,
+                           bound=1.0, max_terms=10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            invert_bounded(lambda s: 1.0 / s, -1.0, eps=1e-9, bound=1.0)
+        with pytest.raises(ValueError):
+            invert_bounded(lambda s: 1.0 / s, 1.0, eps=0.0, bound=1.0)
+
+
+class TestCumulativeInversion:
+    @pytest.mark.parametrize("t", [0.5, 5.0, 500.0])
+    def test_ramp(self, t):
+        # C(t) = r·t (constant reward r): transform r/s².
+        r = 0.7
+        res = invert_cumulative(lambda s: r / (s * s), t, eps=1e-10, r_max=r)
+        assert res.value / t == pytest.approx(r, abs=1e-10)
+
+    def test_exponential_accumulation(self):
+        # C(t) = ∫ e^{-τ}dτ = 1 - e^{-t}: transform 1/(s(s+1)).
+        t = 4.0
+        res = invert_cumulative(lambda s: 1.0 / (s * (s + 1.0)), t,
+                                eps=1e-10, r_max=1.0)
+        assert res.value == pytest.approx(1.0 - np.exp(-t), abs=1e-9 * t)
+
+    def test_budgets_scale_with_t(self):
+        # The cumulative path must stay accurate for large t where C ~ t.
+        t = 1e4
+        res = invert_cumulative(lambda s: 1.0 / (s * (s + 1.0)), t,
+                                eps=1e-11, r_max=1.0)
+        assert res.value == pytest.approx(1.0, abs=1e-11 * t)
+
+
+class TestDispatch:
+    def test_kinds(self):
+        b = invert(lambda s: 1.0 / (s + 1.0), 1.0, eps=1e-9, bound=1.0,
+                   kind="bounded")
+        c = invert(lambda s: 1.0 / (s * s), 1.0, eps=1e-9, bound=1.0,
+                   kind="cumulative")
+        assert b.value == pytest.approx(np.exp(-1.0), abs=1e-9)
+        assert c.value == pytest.approx(1.0, abs=1e-9)
+        with pytest.raises(ValueError):
+            invert(lambda s: 1.0 / s, 1.0, eps=1e-9, bound=1.0, kind="nope")
+
+
+@settings(max_examples=30, deadline=None)
+@given(decay=st.floats(min_value=0.05, max_value=20.0),
+       t=st.floats(min_value=0.05, max_value=100.0),
+       eps_exp=st.integers(min_value=6, max_value=11))
+def test_exponential_inversion_property(decay, t, eps_exp):
+    """Property: |inverted − e^{-decay t}| <= eps across the parameter box."""
+    eps = 10.0 ** (-eps_exp)
+    res = invert_bounded(lambda s: 1.0 / (s + decay), t, eps=eps, bound=1.0)
+    assert abs(res.value - np.exp(-decay * t)) <= eps

@@ -1,0 +1,70 @@
+"""Adaptive uniformization: correctness and the slow-start advantage."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    TRR,
+    AdaptiveUniformizationSolver,
+    CTMC,
+    RewardStructure,
+    StandardRandomizationSolver,
+)
+from tests.conftest import exact_two_state_ua
+
+
+class TestAdaptive:
+    def test_two_state(self, two_state):
+        model, rewards, *_ = two_state
+        times = [0.1, 1.0, 10.0]
+        sol = AdaptiveUniformizationSolver().solve(model, rewards, TRR,
+                                                   times, eps=1e-10)
+        assert np.allclose(sol.values, exact_two_state_ua(times), atol=1e-9)
+
+    def test_erlang_absorbing(self, erlang3):
+        from scipy import stats
+        model, rewards = erlang3
+        sol = AdaptiveUniformizationSolver().solve(model, rewards, TRR,
+                                                   [0.5, 2.0], eps=1e-10)
+        exact = stats.gamma.cdf([0.5, 2.0], a=3, scale=0.5)
+        assert np.allclose(sol.values, exact, atol=1e-9)
+
+    def test_matches_sr_on_random_chain(self, random_absorbing):
+        model = random_absorbing
+        rewards = RewardStructure.indicator(model.n_states,
+                                            [model.n_states - 1])
+        sr = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                 [2.0], eps=1e-12)
+        au = AdaptiveUniformizationSolver().solve(model, rewards, TRR,
+                                                  [2.0], eps=1e-10)
+        assert au.values[0] == pytest.approx(sr.values[0], abs=1e-9)
+
+    def test_slow_start_uses_lower_rates(self):
+        # Chain 0 -(0.01)-> 1 -(100)-> 2(absorbing): the adaptive rate
+        # sequence must start at the slow rate, not the global maximum.
+        model = CTMC.from_transitions(3, [(0, 1, 0.01), (1, 2, 100.0)])
+        rewards = RewardStructure.indicator(3, [2])
+        sol = AdaptiveUniformizationSolver().solve(model, rewards, TRR,
+                                                   [0.5], eps=1e-8)
+        rates = sol.stats["adaptive_rates"]
+        assert rates[0] == pytest.approx(0.01)
+        assert rates.max() == pytest.approx(100.0)
+        # Value cross-check: P[absorbed by t] for hypoexponential(0.01,100).
+        a, b = 0.01, 100.0
+        t = 0.5
+        exact = 1.0 - (b * np.exp(-a * t) - a * np.exp(-b * t)) / (b - a)
+        assert sol.values[0] == pytest.approx(exact, abs=1e-8)
+
+    def test_fully_absorbed_shortcut(self):
+        model = CTMC.from_transitions(2, [(0, 1, 5.0)])
+        rewards = RewardStructure.indicator(2, [1])
+        sol = AdaptiveUniformizationSolver().solve(model, rewards, TRR,
+                                                   [50.0], eps=1e-9)
+        assert sol.values[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_rewards(self, two_state):
+        model, _, *_ = two_state
+        rewards = RewardStructure.indicator(2, [])
+        sol = AdaptiveUniformizationSolver().solve(model, rewards, TRR,
+                                                   [1.0], eps=1e-9)
+        assert sol.values[0] == 0.0

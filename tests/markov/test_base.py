@@ -1,0 +1,57 @@
+"""TransientSolution container and time-array normalization."""
+
+import numpy as np
+import pytest
+
+from repro import TRR
+from repro.markov.base import TransientSolution, as_time_array
+
+
+def make_solution():
+    return TransientSolution(
+        times=np.array([1.0, 10.0]),
+        values=np.array([0.5, 0.7]),
+        measure=TRR,
+        eps=1e-9,
+        steps=np.array([3, 30]),
+        method="SR",
+        stats={"rate": 2.0},
+    )
+
+
+class TestTransientSolution:
+    def test_value_at(self):
+        sol = make_solution()
+        assert sol.value_at(10.0) == 0.7
+        with pytest.raises(KeyError):
+            sol.value_at(2.0)
+
+    def test_steps_at(self):
+        sol = make_solution()
+        assert sol.steps_at(1.0) == 3
+        with pytest.raises(KeyError):
+            sol.steps_at(99.0)
+
+
+class TestAsTimeArray:
+    def test_scalar(self):
+        out = as_time_array(3.0)
+        assert out.shape == (1,)
+
+    def test_list(self):
+        out = as_time_array([1.0, 2.0])
+        assert np.allclose(out, [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            as_time_array([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            as_time_array([1.0, 0.0])
+        with pytest.raises(ValueError):
+            as_time_array([-2.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            as_time_array([np.inf])

@@ -1,0 +1,164 @@
+"""CTMC container: construction, validation, uniformization, structure."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import CTMC
+from repro.exceptions import ModelError
+
+
+def simple_q():
+    return np.array([[-1.0, 1.0, 0.0],
+                     [2.0, -3.0, 1.0],
+                     [0.0, 5.0, -5.0]])
+
+
+class TestConstruction:
+    def test_from_dense(self):
+        m = CTMC(simple_q())
+        assert m.n_states == 3
+        assert m.max_output_rate == 5.0
+        assert np.allclose(m.output_rates, [1.0, 3.0, 5.0])
+
+    def test_from_sparse(self):
+        m = CTMC(sparse.csr_matrix(simple_q()))
+        assert m.n_transitions == 4
+
+    def test_fix_diagonal_recomputes(self):
+        q = simple_q()
+        q[0, 0] = 123.0  # garbage diagonal, should be overwritten
+        m = CTMC(q, fix_diagonal=True)
+        assert m.output_rates[0] == pytest.approx(1.0)
+
+    def test_validate_diagonal_strict(self):
+        q = simple_q()
+        q[0, 0] = -2.0  # rows no longer sum to zero
+        with pytest.raises(ModelError):
+            CTMC(q, fix_diagonal=False)
+
+    def test_negative_rate_rejected(self):
+        q = simple_q()
+        q[0, 1] = -1.0
+        with pytest.raises(ModelError):
+            CTMC(q)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC(np.zeros((2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC(np.zeros((0, 0)))
+
+    def test_default_initial(self):
+        m = CTMC(simple_q())
+        assert np.allclose(m.initial, [1.0, 0.0, 0.0])
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC(simple_q(), initial=np.array([0.5, 0.2, 0.2]))
+        with pytest.raises(ModelError):
+            CTMC(simple_q(), initial=np.array([1.5, -0.5, 0.0]))
+        with pytest.raises(ModelError):
+            CTMC(simple_q(), initial=np.array([1.0, 0.0]))
+
+    def test_labels(self):
+        m = CTMC(simple_q(), labels=["a", "b", "c"])
+        assert m.labels == ["a", "b", "c"]
+        with pytest.raises(ModelError):
+            CTMC(simple_q(), labels=["a"])
+
+
+class TestFromTransitions:
+    def test_basic(self):
+        m = CTMC.from_transitions(2, [(0, 1, 2.0), (1, 0, 3.0)], initial=1)
+        assert m.output_rates[0] == 2.0
+        assert np.allclose(m.initial, [0.0, 1.0])
+
+    def test_duplicates_summed(self):
+        m = CTMC.from_transitions(2, [(0, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)])
+        assert m.generator[0, 1] == pytest.approx(3.0)
+
+    def test_zero_rate_dropped(self):
+        m = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 0.0)])
+        assert len(m.absorbing_states()) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 0, 1.0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 5, 1.0)])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 1, -1.0)])
+
+
+class TestUniformize:
+    def test_transition_matrix(self):
+        m = CTMC(simple_q())
+        dtmc, rate = m.uniformize()
+        assert rate == 5.0
+        p = dtmc.transition_matrix.toarray()
+        expected = np.eye(3) + simple_q() / 5.0
+        assert np.allclose(p, expected)
+
+    def test_custom_rate(self):
+        m = CTMC(simple_q())
+        dtmc, rate = m.uniformize(10.0)
+        assert rate == 10.0
+        assert dtmc.transition_matrix[0, 0] == pytest.approx(0.9)
+
+    def test_slack(self):
+        m = CTMC(simple_q())
+        _, rate = m.uniformize(slack=1.1)
+        assert rate == pytest.approx(5.5)
+
+    def test_too_small_rate_rejected(self):
+        m = CTMC(simple_q())
+        with pytest.raises(ModelError):
+            m.uniformize(1.0)
+
+    def test_rows_stochastic(self):
+        m = CTMC(simple_q())
+        dtmc, _ = m.uniformize()
+        sums = np.asarray(dtmc.transition_matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+
+class TestStructure:
+    def test_absorbing_states(self):
+        m = CTMC.from_transitions(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert list(m.absorbing_states()) == [2]
+
+    def test_reachable_from(self):
+        m = CTMC.from_transitions(4, [(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0),
+                                      (3, 2, 1.0)])
+        assert list(m.reachable_from([0])) == [0, 1]
+        assert list(m.reachable_from([0, 2])) == [0, 1, 2, 3]
+
+    def test_irreducible(self):
+        m = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        assert m.is_irreducible()
+        m2 = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        assert not m2.is_irreducible()
+
+    def test_restricted_to(self):
+        m = CTMC(simple_q())
+        sub = m.restricted_to([0, 1])
+        assert sub.n_states == 2
+        assert sub.generator[1, 0] == pytest.approx(2.0)
+        # The 1 -> 2 leak is dropped, so state 1 exits at rate 2 only.
+        assert sub.output_rates[1] == pytest.approx(2.0)
+
+    def test_restricted_needs_initial_mass(self):
+        m = CTMC(simple_q())  # initial mass all on state 0
+        with pytest.raises(ModelError):
+            m.restricted_to([1, 2])
+
+    def test_n_transitions_excludes_diagonal(self):
+        m = CTMC(simple_q())
+        assert m.n_transitions == 4

@@ -1,0 +1,63 @@
+"""Mean time to absorption: closed forms and UR consistency."""
+
+import numpy as np
+import pytest
+
+from repro import CTMC, TRR, RRLSolver
+from repro.exceptions import ModelError
+from repro.markov.mttf import mean_time_to_absorption
+from repro.models import Raid5Params, build_raid5_reliability, erlang_chain
+
+
+class TestClosedForms:
+    def test_single_exponential(self):
+        model = CTMC.from_transitions(2, [(0, 1, 0.25)])
+        at = mean_time_to_absorption(model)
+        assert at.mean == pytest.approx(4.0)
+        assert at.second_moment == pytest.approx(32.0)  # 2/λ²
+        assert at.cv2 == pytest.approx(1.0)
+
+    def test_erlang(self):
+        model, _ = erlang_chain(4, 2.0)
+        at = mean_time_to_absorption(model)
+        assert at.mean == pytest.approx(2.0)        # k/λ
+        assert at.variance == pytest.approx(1.0)    # k/λ²
+        assert at.cv2 == pytest.approx(0.25)        # 1/k
+
+    def test_competing_exponentials(self):
+        # 0 -> a at 1, 0 -> b at 3: T ~ Exp(4) regardless of destination.
+        model = CTMC.from_transitions(3, [(0, 1, 1.0), (0, 2, 3.0)])
+        at = mean_time_to_absorption(model)
+        assert at.mean == pytest.approx(0.25)
+
+    def test_initial_distribution_weighting(self):
+        model = CTMC.from_transitions(
+            3, [(0, 2, 1.0), (1, 2, 2.0)],
+            initial=np.array([0.5, 0.5, 0.0]))
+        at = mean_time_to_absorption(model)
+        assert at.mean == pytest.approx(0.5 * 1.0 + 0.5 * 0.5)
+
+
+class TestGuards:
+    def test_no_absorbing_raises(self, two_state):
+        model, *_ = two_state
+        with pytest.raises(ModelError, match="no absorbing"):
+            mean_time_to_absorption(model)
+
+    def test_unreachable_absorption_raises(self):
+        # 0 <-> 1 recurrent; 2 -> 3 absorbing but start mass is on 0.
+        model = CTMC.from_transitions(
+            4, [(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0)], initial=0)
+        with pytest.raises(ModelError, match="not certain"):
+            mean_time_to_absorption(model)
+
+
+class TestConsistencyWithUr:
+    def test_raid_ur_matches_exponential_approx(self):
+        """cv² ≈ 1 for the RAID failure time, so UR(t) ≈ 1 − e^{−t/MTTF}."""
+        model, rewards, _ = build_raid5_reliability(Raid5Params(groups=5))
+        at = mean_time_to_absorption(model)
+        assert at.cv2 == pytest.approx(1.0, abs=0.01)
+        t = at.mean / 100.0
+        ur = RRLSolver().solve(model, rewards, TRR, [t], eps=1e-12).values[0]
+        assert ur == pytest.approx(1.0 - np.exp(-t / at.mean), rel=2e-2)

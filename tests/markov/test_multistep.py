@@ -1,0 +1,86 @@
+"""Multistep randomization: correctness, step economics, fill-in guard."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MRR,
+    TRR,
+    MultistepRandomizationSolver,
+    RewardStructure,
+    StandardRandomizationSolver,
+)
+from repro.exceptions import TruncationError
+from repro.models import birth_death, random_ctmc
+from tests.conftest import exact_two_state_ua
+
+
+class TestCorrectness:
+    def test_two_state(self, two_state):
+        model, rewards, *_ = two_state
+        times = [0.5, 10.0, 1000.0]
+        sol = MultistepRandomizationSolver().solve(model, rewards, TRR,
+                                                   times, eps=1e-11)
+        assert np.allclose(sol.values, exact_two_state_ua(times), atol=1e-10)
+
+    def test_matches_sr(self, random_irreducible):
+        rewards = RewardStructure.indicator(15, [4])
+        times = [1.0, 50.0]
+        ref = StandardRandomizationSolver().solve(random_irreducible,
+                                                  rewards, TRR, times,
+                                                  eps=1e-13)
+        sol = MultistepRandomizationSolver().solve(random_irreducible,
+                                                   rewards, TRR, times,
+                                                   eps=1e-11)
+        assert np.allclose(sol.values, ref.values, atol=1e-10)
+
+    def test_absorbing(self, erlang3):
+        from scipy import stats
+        model, rewards = erlang3
+        sol = MultistepRandomizationSolver().solve(model, rewards, TRR,
+                                                   [1.5], eps=1e-11)
+        assert sol.values[0] == pytest.approx(
+            stats.gamma.cdf(1.5, a=3, scale=0.5), abs=1e-10)
+
+
+class TestEconomics:
+    def test_fewer_steps_than_sr_for_large_t(self, two_state):
+        model, rewards, *_ = two_state
+        t = [1e4]
+        sr = StandardRandomizationSolver().solve(model, rewards, TRR, t,
+                                                 eps=1e-11)
+        ms = MultistepRandomizationSolver().solve(model, rewards, TRR, t,
+                                                  eps=1e-11)
+        # SR pays Λt ≈ 1.1e5 steps; multistep pays the window + log skips.
+        assert ms.steps[0] < sr.steps[0] / 20
+        assert ms.stats["matrix_multiplications"] > 0
+
+    def test_fill_in_tracked(self):
+        model = birth_death(40, 1.0, 1.5)
+        rewards = RewardStructure.indicator(40, [39])
+        sol = MultistepRandomizationSolver().solve(model, rewards, TRR,
+                                                   [500.0], eps=1e-10)
+        # A tridiagonal P densifies as it is squared: fill-in must show.
+        assert sol.stats["max_power_nnz"] > sol.stats["base_nnz"]
+
+    def test_fill_in_guard_raises(self):
+        model = random_ctmc(60, density=0.1, seed=8)
+        rewards = RewardStructure.indicator(60, [1])
+        solver = MultistepRandomizationSolver(max_power_nnz=200)
+        with pytest.raises(TruncationError, match="fill-in"):
+            solver.solve(model, rewards, TRR, [1e4], eps=1e-10)
+
+
+class TestGuards:
+    def test_mrr_unsupported(self, two_state):
+        model, rewards, *_ = two_state
+        with pytest.raises(ValueError, match="TRR only"):
+            MultistepRandomizationSolver().solve(model, rewards, MRR,
+                                                 [1.0], eps=1e-9)
+
+    def test_zero_rewards(self, two_state):
+        model, _, *_ = two_state
+        rewards = RewardStructure.indicator(2, [])
+        sol = MultistepRandomizationSolver().solve(model, rewards, TRR,
+                                                   [1.0], eps=1e-9)
+        assert sol.values[0] == 0.0

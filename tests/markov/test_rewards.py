@@ -1,0 +1,60 @@
+"""Reward structures and measure enums."""
+
+import numpy as np
+import pytest
+
+from repro import CTMC, MRR, TRR, Measure, RewardStructure
+from repro.exceptions import MeasureError
+
+
+class TestRewardStructure:
+    def test_basic(self):
+        r = RewardStructure([0.0, 1.0, 2.5])
+        assert r.n_states == 3
+        assert r.max_rate == 2.5
+        assert np.allclose(r.rates, [0.0, 1.0, 2.5])
+
+    def test_negative_rejected(self):
+        with pytest.raises(MeasureError):
+            RewardStructure([1.0, -0.1])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(MeasureError):
+            RewardStructure([1.0, np.inf])
+        with pytest.raises(MeasureError):
+            RewardStructure([np.nan])
+
+    def test_2d_rejected(self):
+        with pytest.raises(MeasureError):
+            RewardStructure(np.ones((2, 2)))
+
+    def test_indicator(self):
+        r = RewardStructure.indicator(4, [1, 3])
+        assert np.allclose(r.rates, [0, 1, 0, 1])
+        with pytest.raises(MeasureError):
+            RewardStructure.indicator(4, [4])
+
+    def test_indicator_empty(self):
+        r = RewardStructure.indicator(3, [])
+        assert r.max_rate == 0.0
+
+    def test_constant(self):
+        r = RewardStructure.constant(3, 7.0)
+        assert np.allclose(r.rates, 7.0)
+
+    def test_expectation(self):
+        r = RewardStructure([1.0, 2.0])
+        assert r.expectation(np.array([0.25, 0.75])) == pytest.approx(1.75)
+
+    def test_check_model(self):
+        m = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        RewardStructure.constant(2).check_model(m)  # no raise
+        with pytest.raises(MeasureError):
+            RewardStructure.constant(3).check_model(m)
+
+
+class TestMeasureEnum:
+    def test_aliases(self):
+        assert TRR is Measure.TRR
+        assert MRR is Measure.MRR
+        assert TRR is not MRR

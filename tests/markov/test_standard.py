@@ -1,0 +1,112 @@
+"""Standard randomization solver: closed forms, budgets, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import MRR, TRR, RewardStructure, StandardRandomizationSolver
+from repro.exceptions import TruncationError
+from repro.markov.rewards import Measure
+from repro.markov.standard import sr_required_steps
+from tests.conftest import exact_two_state_mrr, exact_two_state_ua
+
+
+class TestAgainstClosedForms:
+    def test_two_state_trr(self, two_state):
+        model, rewards, fail, repair = two_state
+        times = [0.01, 0.3, 2.0, 50.0]
+        sol = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                  times, eps=1e-11)
+        assert np.allclose(sol.values, exact_two_state_ua(times), atol=1e-11)
+
+    def test_two_state_mrr(self, two_state):
+        model, rewards, *_ = two_state
+        times = [0.01, 0.3, 2.0, 50.0]
+        sol = StandardRandomizationSolver().solve(model, rewards, MRR,
+                                                  times, eps=1e-11)
+        assert np.allclose(sol.values, exact_two_state_mrr(times), atol=1e-11)
+
+    def test_erlang_absorption(self, erlang3):
+        from scipy import stats
+        model, rewards = erlang3
+        times = [0.1, 0.5, 1.0, 3.0]
+        sol = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                  times, eps=1e-12)
+        exact = stats.gamma.cdf(times, a=3, scale=0.5)
+        assert np.allclose(sol.values, exact, atol=1e-11)
+
+    def test_constant_reward_is_constant(self, uniform_reward_model):
+        model, rewards = uniform_reward_model
+        sol = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                  [0.5, 5.0, 50.0], eps=1e-12)
+        assert np.allclose(sol.values, 2.5, atol=1e-11)
+        mol = StandardRandomizationSolver().solve(model, rewards, MRR,
+                                                  [0.5, 5.0, 50.0], eps=1e-12)
+        assert np.allclose(mol.values, 2.5, atol=1e-11)
+
+
+class TestWorkAccounting:
+    def test_steps_grow_linearly_in_t(self, two_state):
+        model, rewards, *_ = two_state
+        sol = StandardRandomizationSolver().solve(
+            model, rewards, TRR, [1.0, 10.0, 100.0, 1000.0], eps=1e-12)
+        s = sol.steps.astype(float)
+        # Λt dominates: steps(1000)/steps(100) ≈ 10 within tail slack.
+        assert s[3] / s[2] > 6.0
+
+    def test_eps_tightens_steps(self, two_state):
+        model, rewards, *_ = two_state
+        loose = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                    [5.0], eps=1e-4)
+        tight = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                    [5.0], eps=1e-13)
+        assert tight.steps[0] > loose.steps[0]
+
+    def test_max_steps_raises(self, two_state):
+        model, rewards, *_ = two_state
+        solver = StandardRandomizationSolver(max_steps=10)
+        with pytest.raises(TruncationError):
+            solver.solve(model, rewards, TRR, [1000.0], eps=1e-12)
+
+    def test_required_steps_mrr_minimal(self):
+        from repro.markov.poisson import poisson_expected_excess
+        n = sr_required_steps(50.0, 1e-9, Measure.MRR)
+        assert poisson_expected_excess(50.0, n - 1) <= 1e-9
+        assert poisson_expected_excess(50.0, n - 2) > 1e-9
+
+
+class TestEdgeCases:
+    def test_zero_rewards_shortcut(self, two_state):
+        model, _, *_ = two_state
+        rewards = RewardStructure.indicator(2, [])
+        sol = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                  [1.0], eps=1e-12)
+        assert sol.values[0] == 0.0
+        assert sol.steps[0] == 0
+
+    def test_invalid_eps(self, two_state):
+        model, rewards, *_ = two_state
+        with pytest.raises(ValueError):
+            StandardRandomizationSolver().solve(model, rewards, TRR, [1.0],
+                                                eps=0.0)
+
+    def test_invalid_times(self, two_state):
+        model, rewards, *_ = two_state
+        solver = StandardRandomizationSolver()
+        with pytest.raises(ValueError):
+            solver.solve(model, rewards, TRR, [], eps=1e-9)
+        with pytest.raises(ValueError):
+            solver.solve(model, rewards, TRR, [-1.0], eps=1e-9)
+
+    def test_unsorted_times_preserved(self, two_state):
+        model, rewards, *_ = two_state
+        times = [5.0, 0.5, 2.0]
+        sol = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                  times, eps=1e-11)
+        assert np.allclose(sol.values, exact_two_state_ua(times), atol=1e-10)
+        assert sol.value_at(0.5) == sol.values[1]
+
+    def test_absorbing_long_horizon_saturates(self, erlang3):
+        model, rewards = erlang3
+        sol = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                  [200.0], eps=1e-12)
+        assert sol.values[0] == pytest.approx(1.0, abs=1e-10)

@@ -1,0 +1,89 @@
+"""Stationary solvers: GTH vs sparse LU vs closed forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CTMC
+from repro.exceptions import ModelError
+from repro.markov.steady_state import gth_solve, stationary_distribution
+from repro.models import birth_death, random_ctmc
+
+
+class TestGth:
+    def test_two_state(self):
+        q = np.array([[-1.0, 1.0], [10.0, -10.0]])
+        pi = gth_solve(q)
+        assert np.allclose(pi, [10.0 / 11.0, 1.0 / 11.0])
+
+    def test_birth_death_geometric(self):
+        model = birth_death(6, birth=2.0, death=3.0)
+        pi = gth_solve(model.generator.toarray())
+        rho = 2.0 / 3.0
+        expected = rho ** np.arange(6)
+        expected /= expected.sum()
+        assert np.allclose(pi, expected, rtol=1e-12)
+
+    def test_diagonal_ignored(self):
+        q = np.array([[5.0, 1.0], [10.0, 77.0]])  # garbage diagonals
+        pi = gth_solve(q)
+        assert np.allclose(pi, [10.0 / 11.0, 1.0 / 11.0])
+
+    def test_reducible_raises(self):
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ModelError):
+            gth_solve(q)
+
+    def test_stiff_rates_stable(self):
+        # GTH is subtraction-free: 12 orders of magnitude are fine.
+        q = np.array([[-1e-6, 1e-6, 0.0],
+                      [1e6, -1e6 - 1e-6, 1e-6],
+                      [0.0, 1e6, -1e6]])
+        pi = gth_solve(q)
+        flow = pi @ q
+        np.fill_diagonal(q, 0.0)
+        assert np.all(pi > 0.0)
+        assert np.allclose(flow, 0.0, atol=1e-12 * np.abs(q).max())
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("method", ["gth", "sparse"])
+    def test_methods_agree(self, method, random_irreducible):
+        pi = stationary_distribution(random_irreducible, method=method)
+        q = random_irreducible.generator
+        assert np.allclose(pi @ q, 0.0, atol=1e-10)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_dtmc_input(self, random_irreducible):
+        dtmc, _ = random_irreducible.uniformize(slack=1.1)
+        pi_c = stationary_distribution(random_irreducible)
+        pi_d = stationary_distribution(dtmc)
+        assert np.allclose(pi_c, pi_d, atol=1e-10)
+
+    def test_unknown_method(self, random_irreducible):
+        with pytest.raises(ValueError):
+            stationary_distribution(random_irreducible, method="magic")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            stationary_distribution(np.eye(2))  # type: ignore[arg-type]
+
+    def test_auto_uses_sparse_for_large(self):
+        model = birth_death(1500, 1.0, 2.0)
+        pi = stationary_distribution(model)  # must not take O(n^3) forever
+        rho = 0.5
+        expected = rho ** np.arange(1500)
+        expected /= expected.sum()
+        assert np.allclose(pi[:50], expected[:50], rtol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=12),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_gth_sparse_agree_property(n, seed):
+    """Property: both solvers produce the same stationary vector."""
+    model = random_ctmc(n, density=0.5, seed=seed)
+    pi_g = stationary_distribution(model, method="gth")
+    pi_s = stationary_distribution(model, method="sparse")
+    assert np.allclose(pi_g, pi_s, atol=1e-9)

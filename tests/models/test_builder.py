@@ -1,0 +1,94 @@
+"""State-space exploration engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models import StateSpaceBuilder
+
+
+def ring_transitions(n):
+    def f(state):
+        yield (state + 1) % n, 1.0
+    return f
+
+
+class TestExploration:
+    def test_ring(self):
+        ex = StateSpaceBuilder(ring_transitions(5)).explore(0)
+        assert ex.model.n_states == 5
+        assert ex.model.n_transitions == 5
+        assert ex.state_index(3) == 3  # BFS order from 0
+
+    def test_unreachable_states_not_built(self):
+        def f(state):
+            if state == 0:
+                yield 1, 2.0
+            # state 1 is a dead end; symbolic state 99 never referenced
+        ex = StateSpaceBuilder(f).explore(0)
+        assert ex.model.n_states == 2
+
+    def test_duplicate_arcs_accumulate(self):
+        def f(state):
+            if state == "a":
+                yield "b", 1.0
+                yield "b", 2.5  # distinct physical events, same target
+                yield "a2", 1.0
+            elif state == "a2":
+                yield "a", 1.0
+            elif state == "b":
+                yield "a", 1.0
+        ex = StateSpaceBuilder(f).explore("a")
+        i, j = ex.state_index("a"), ex.state_index("b")
+        assert ex.model.generator[i, j] == pytest.approx(3.5)
+
+    def test_zero_rates_dropped_self_loops_ignored(self):
+        def f(state):
+            yield state, 5.0       # self-loop: ignored
+            yield "other", 0.0     # zero rate: dropped (state not created)
+            if state == 0:
+                yield 1, 1.0
+            else:
+                yield 0, 1.0
+        ex = StateSpaceBuilder(f).explore(0)
+        assert ex.model.n_states == 2
+
+    def test_labels_preserve_symbolic_states(self):
+        ex = StateSpaceBuilder(ring_transitions(3)).explore(0)
+        assert list(ex.model.labels) == [0, 1, 2]
+
+    def test_initial_distribution_over_seeds(self):
+        def f(state):
+            yield (state + 1) % 4, 1.0
+        ex = StateSpaceBuilder(f).explore(
+            0, initial_probability={0: 0.25, 2: 0.75})
+        init = ex.model.initial
+        assert init[ex.state_index(0)] == pytest.approx(0.25)
+        assert init[ex.state_index(2)] == pytest.approx(0.75)
+
+    def test_max_states_guard(self):
+        def unbounded(state):
+            yield state + 1, 1.0
+        with pytest.raises(ModelError):
+            StateSpaceBuilder(unbounded, max_states=100).explore(0)
+
+    def test_negative_rate_rejected(self):
+        def f(state):
+            yield 1 - state, -2.0
+        with pytest.raises(ModelError):
+            StateSpaceBuilder(f).explore(0)
+
+    def test_hashable_tuple_states(self):
+        def f(state):
+            a, b = state
+            if a < 2:
+                yield (a + 1, b), 1.0
+            if b < 2:
+                yield (a, b + 1), 0.5
+            if a > 0:
+                yield (a - 1, b), 2.0
+            if b > 0:
+                yield (a, b - 1), 2.0
+        ex = StateSpaceBuilder(f).explore((0, 0))
+        assert ex.model.n_states == 9
+        assert ex.model.is_irreducible()

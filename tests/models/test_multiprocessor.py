@@ -1,0 +1,98 @@
+"""Fault-tolerant multiprocessor model."""
+
+import numpy as np
+import pytest
+
+from repro import TRR, RRLSolver
+from repro.analysis.validation import cross_validate
+from repro.exceptions import ModelError
+from repro.markov.mttf import mean_time_to_absorption
+from repro.models import (
+    MultiprocessorParams,
+    build_multiprocessor_availability,
+    build_multiprocessor_reliability,
+    multiprocessor_capacity_rewards,
+)
+from repro.models.multiprocessor import CRASHED
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MultiprocessorParams(processors=0)
+        with pytest.raises(ModelError):
+            MultiprocessorParams(min_memories=5, memories=4)
+        with pytest.raises(ModelError):
+            MultiprocessorParams(coverage=1.5)
+        with pytest.raises(ModelError):
+            MultiprocessorParams(repair=-1.0)
+
+
+class TestStructure:
+    def test_state_count(self):
+        # Operational states: fp in 0..n_p-min_p, fm in 0..n_m-min_m,
+        # plus CRASHED.
+        p = MultiprocessorParams(processors=3, memories=2,
+                                 min_processors=1, min_memories=1)
+        model, _, ex = build_multiprocessor_availability(p)
+        assert model.n_states == 3 * 2 + 1
+
+    def test_availability_irreducible(self):
+        model, _, _ = build_multiprocessor_availability(
+            MultiprocessorParams())
+        assert model.is_irreducible()
+
+    def test_reliability_absorbing(self):
+        model, rewards, ex = build_multiprocessor_reliability(
+            MultiprocessorParams())
+        assert list(model.absorbing_states()) == [ex.state_index(CRASHED)]
+        assert rewards.rates[ex.state_index(CRASHED)] == 1.0
+
+    def test_repair_priority_processors_first(self):
+        p = MultiprocessorParams()
+        model, _, ex = build_multiprocessor_availability(p)
+        i = ex.state_index((1, 1))
+        q = model.generator
+        assert q[i, ex.state_index((0, 1))] == pytest.approx(p.repair)
+        assert q[i, ex.state_index((1, 0))] == 0.0
+
+    def test_perfect_coverage_removes_crash_arcs_from_full(self):
+        p = MultiprocessorParams(coverage=1.0)
+        model, _, ex = build_multiprocessor_availability(p)
+        i = ex.state_index((0, 0))
+        assert model.generator[i, ex.state_index(CRASHED)] == 0.0
+
+
+class TestBehaviour:
+    def test_cross_method_agreement(self):
+        model, rewards, _ = build_multiprocessor_availability(
+            MultiprocessorParams())
+        report = cross_validate(model, rewards, TRR, [1.0, 100.0, 1e4],
+                                eps=1e-10)
+        assert report.passed, report.render()
+
+    def test_coverage_dominates_unreliability(self):
+        t = [1000.0]
+        u = []
+        for cov in (0.999, 0.9):
+            p = MultiprocessorParams(coverage=cov)
+            model, rewards, _ = build_multiprocessor_reliability(p)
+            u.append(RRLSolver().solve(model, rewards, TRR, t,
+                                       eps=1e-10).values[0])
+        assert u[1] > 10 * u[0]
+
+    def test_mttf_scales_with_coverage(self):
+        mt = []
+        for cov in (0.9, 0.999):
+            p = MultiprocessorParams(coverage=cov)
+            model, _, _ = build_multiprocessor_reliability(p)
+            mt.append(mean_time_to_absorption(model).mean)
+        assert mt[1] > mt[0]
+
+    def test_capacity_rewards(self):
+        p = MultiprocessorParams(processors=4, memories=2)
+        model, _, ex = build_multiprocessor_availability(p)
+        rw = multiprocessor_capacity_rewards(ex, p)
+        assert rw.rates[ex.state_index((0, 0))] == 2.0  # min(4, 2)
+        assert rw.rates[ex.state_index((3, 0))] == 1.0  # min(1, 2)
+        assert rw.rates[ex.state_index(CRASHED)] == 0.0

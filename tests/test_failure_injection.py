@@ -1,0 +1,121 @@
+"""Failure injection: starve every resource limit and assert the library
+fails loudly, with the right exception type, instead of looping or
+returning silently-wrong numbers."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    TRR,
+    RegenerativeRandomizationSolver,
+    RewardStructure,
+    RRLSolver,
+    StandardRandomizationSolver,
+)
+from repro.exceptions import (
+    InversionError,
+    ModelError,
+    ReproError,
+    TruncationError,
+)
+from repro.models import erlang_chain, random_ctmc
+
+
+class TestStarvedBudgets:
+    def test_rrl_max_terms_exhaustion(self, random_irreducible):
+        rewards = RewardStructure.indicator(15, [3])
+        solver = RRLSolver(max_terms=5)
+        with pytest.raises(InversionError):
+            solver.solve(random_irreducible, rewards, TRR, [10.0],
+                         eps=1e-12)
+
+    def test_rr_inner_step_cap(self, random_irreducible):
+        rewards = RewardStructure.indicator(15, [3])
+        solver = RegenerativeRandomizationSolver(inner_max_steps=10)
+        with pytest.raises(TruncationError):
+            solver.solve(random_irreducible, rewards, TRR, [1e4], eps=1e-12)
+
+    def test_sr_step_cap(self, random_irreducible):
+        rewards = RewardStructure.indicator(15, [3])
+        solver = StandardRandomizationSolver(max_steps=10)
+        with pytest.raises(TruncationError):
+            solver.solve(random_irreducible, rewards, TRR, [1e4], eps=1e-12)
+
+    def test_every_cap_is_a_repro_error(self, random_irreducible):
+        """Callers can catch everything with one except clause."""
+        rewards = RewardStructure.indicator(15, [3])
+        for solver in (RRLSolver(max_terms=5),
+                       RegenerativeRandomizationSolver(inner_max_steps=5),
+                       StandardRandomizationSolver(max_steps=5)):
+            with pytest.raises(ReproError):
+                solver.solve(random_irreducible, rewards, TRR, [1e4],
+                             eps=1e-12)
+
+
+class TestHostileModels:
+    def test_erlang_never_regenerates_but_stays_correct(self):
+        """A pure chain never revisits r — but every excursion is
+        absorbed within 8 steps, so the schedule *exhausts* at the chain
+        depth and stays exact with K = 8 for any horizon."""
+        from scipy import stats
+        model, rewards = erlang_chain(8, 1.0)
+        sol = RRLSolver().solve(model, rewards, TRR, [5.0, 500.0],
+                                eps=1e-10)
+        exact = stats.gamma.cdf([5.0, 500.0], a=8, scale=1.0)
+        assert np.allclose(sol.values, exact, atol=1e-10)
+        assert np.all(sol.steps == 8)
+
+    def test_near_reducible_chain(self):
+        """A chain with a 1e-9-rate bridge between two lobes is legal and
+        must not break the truncation selection."""
+        trans = [(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0),
+                 (1, 2, 1e-9), (2, 1, 1e-9)]
+        from repro import CTMC
+        model = CTMC.from_transitions(4, trans, initial=0)
+        rewards = RewardStructure.indicator(4, [3])
+        sol = RRLSolver().solve(model, rewards, TRR, [1.0], eps=1e-9)
+        ref = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                  [1.0], eps=1e-12)
+        assert sol.values[0] == pytest.approx(ref.values[0], abs=1e-9)
+
+    def test_huge_rate_spread(self):
+        """12 orders of magnitude between rates (stiff): randomization
+        family must agree regardless."""
+        trans = [(0, 1, 1e-6), (1, 0, 1e6), (1, 2, 1.0), (2, 0, 1e3)]
+        from repro import CTMC
+        model = CTMC.from_transitions(3, trans, initial=0)
+        rewards = RewardStructure.indicator(3, [2])
+        ref = StandardRandomizationSolver().solve(model, rewards, TRR,
+                                                  [1.0], eps=1e-13)
+        sol = RRLSolver().solve(model, rewards, TRR, [1.0], eps=1e-10)
+        assert sol.values[0] == pytest.approx(ref.values[0], abs=1e-10)
+
+    def test_reward_on_unreachable_state_is_harmless(self):
+        model = random_ctmc(8, density=0.4, seed=3, absorbing=1)
+        # State 7 (absorbing) may be unreachable from 0 depending on the
+        # draw; either way a reward there must not corrupt anything.
+        rewards = RewardStructure.indicator(8, [7])
+        sol = RRLSolver().solve(model, rewards, TRR, [1.0], eps=1e-9)
+        assert 0.0 <= sol.values[0] <= 1.0
+
+    def test_single_transient_state(self):
+        from repro import CTMC
+        model = CTMC.from_transitions(2, [(0, 1, 2.0)])
+        rewards = RewardStructure.indicator(2, [1])
+        sol = RRLSolver().solve(model, rewards, TRR, [0.5], eps=1e-11)
+        assert sol.values[0] == pytest.approx(1.0 - np.exp(-1.0), abs=1e-11)
+
+
+class TestMisuse:
+    def test_mismatched_rewards(self, two_state):
+        model, _, *_ = two_state
+        bad = RewardStructure.constant(5)
+        for solver in (RRLSolver(), StandardRandomizationSolver()):
+            with pytest.raises(ReproError):
+                solver.solve(model, bad, TRR, [1.0], eps=1e-9)
+
+    def test_regenerative_out_of_class(self, erlang3):
+        model, rewards = erlang3
+        with pytest.raises(ModelError):
+            RRLSolver(regenerative=3).solve(model, rewards, TRR, [1.0],
+                                            eps=1e-9)

@@ -1,0 +1,159 @@
+"""Property-based tests over randomly generated chains and rewards.
+
+Hypothesis drives the model generator and checks end-to-end invariants:
+RRL (closed-form transform + numerical inversion) must match SR (direct
+Poisson summation with rigorous error) on *any* model, measure, horizon
+and budget in the strategy space — plus structural invariants of the
+probability flows involved.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MRR, TRR, RewardStructure
+from repro.analysis import solve
+from repro.models import random_ctmc
+
+COMMON = dict(
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+@st.composite
+def chain_and_rewards(draw, max_states=12, allow_absorbing=True):
+    n = draw(st.integers(min_value=3, max_value=max_states))
+    absorbing = draw(st.integers(min_value=0, max_value=2)) \
+        if allow_absorbing else 0
+    if absorbing >= n - 2:
+        absorbing = 0
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    density = draw(st.floats(min_value=0.1, max_value=0.8))
+    scale = draw(st.sampled_from([0.1, 1.0, 10.0]))
+    model = random_ctmc(n, density=density, seed=seed, absorbing=absorbing,
+                        rate_scale=scale)
+    rng = np.random.default_rng(seed + 1)
+    rewards = RewardStructure(rng.uniform(0.0, 2.0, n))
+    return model, rewards
+
+
+@settings(max_examples=25, **COMMON)
+@given(mr=chain_and_rewards(),
+       t=st.floats(min_value=0.05, max_value=200.0))
+def test_rrl_matches_sr_trr(mr, t):
+    model, rewards = mr
+    ref = solve(model, rewards, TRR, [t], eps=1e-13, method="SR")
+    sol = solve(model, rewards, TRR, [t], eps=1e-9, method="RRL")
+    assert abs(sol.values[0] - ref.values[0]) <= 1e-9 * max(
+        1.0, rewards.max_rate)
+
+
+@settings(max_examples=15, **COMMON)
+@given(mr=chain_and_rewards(),
+       t=st.floats(min_value=0.05, max_value=100.0))
+def test_rrl_matches_sr_mrr(mr, t):
+    model, rewards = mr
+    ref = solve(model, rewards, MRR, [t], eps=1e-13, method="SR")
+    sol = solve(model, rewards, MRR, [t], eps=1e-9, method="RRL")
+    assert abs(sol.values[0] - ref.values[0]) <= 1e-9 * max(
+        1.0, rewards.max_rate)
+
+
+@settings(max_examples=15, **COMMON)
+@given(mr=chain_and_rewards(),
+       t=st.floats(min_value=0.05, max_value=100.0))
+def test_rr_matches_sr(mr, t):
+    model, rewards = mr
+    ref = solve(model, rewards, TRR, [t], eps=1e-13, method="SR")
+    sol = solve(model, rewards, TRR, [t], eps=1e-9, method="RR")
+    assert abs(sol.values[0] - ref.values[0]) <= 1e-9 * max(
+        1.0, rewards.max_rate)
+
+
+@settings(max_examples=20, **COMMON)
+@given(mr=chain_and_rewards(allow_absorbing=False),
+       times=st.lists(st.floats(min_value=0.1, max_value=50.0),
+                      min_size=2, max_size=4, unique=True))
+def test_values_bounded_by_rmax(mr, times):
+    model, rewards = mr
+    sol = solve(model, rewards, TRR, times, eps=1e-9, method="RRL")
+    assert np.all(sol.values >= -1e-9)
+    assert np.all(sol.values <= rewards.max_rate + 1e-9)
+
+
+@settings(max_examples=20, **COMMON)
+@given(mr=chain_and_rewards(allow_absorbing=False),
+       t=st.floats(min_value=0.5, max_value=50.0))
+def test_probability_conservation_under_uniformization(mr, t):
+    """SR's stepped distribution stays a probability vector."""
+    model, _ = mr
+    dtmc, rate = model.uniformize()
+    pi = dtmc.initial.copy()
+    for _ in range(30):
+        pi = dtmc.step(pi)
+        assert pi.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(pi >= -1e-15)
+
+
+@settings(max_examples=20, **COMMON)
+@given(mr=chain_and_rewards(),
+       reg=st.integers(min_value=0, max_value=2),
+       t=st.floats(min_value=0.1, max_value=50.0))
+def test_rrl_invariant_to_regenerative_choice(mr, reg, t):
+    """The answer must not depend on which (recurrent) state is r."""
+    model, rewards = mr
+    # Pick a regenerative state inside the strongly-connected core.
+    core = model.n_states - model.absorbing_states().size
+    reg = reg % core
+    base = solve(model, rewards, TRR, [t], eps=1e-10, method="RRL")
+    alt = solve(model, rewards, TRR, [t], eps=1e-10, method="RRL",
+                regenerative=reg)
+    assert abs(base.values[0] - alt.values[0]) <= 2e-10 * max(
+        1.0, rewards.max_rate)
+
+
+@settings(max_examples=10, **COMMON)
+@given(mr=chain_and_rewards(allow_absorbing=False),
+       t=st.floats(min_value=1.0, max_value=20.0))
+def test_mrr_is_time_average_of_trr(mr, t):
+    """MRR(t)·t must equal the numerical integral of TRR over [0, t]."""
+    model, rewards = mr
+    grid = np.linspace(t / 400.0, t, 400)
+    trr = solve(model, rewards, TRR, grid, eps=1e-10, method="SR")
+    from scipy.integrate import simpson
+    integral = simpson(np.concatenate([
+        [rewards.expectation(model.initial)], trr.values]),
+        x=np.concatenate([[0.0], grid]))
+    mrr = solve(model, rewards, MRR, [t], eps=1e-10, method="RRL")
+    assert mrr.values[0] == pytest.approx(integral / t, abs=5e-4)
+
+
+@settings(max_examples=12, **COMMON)
+@given(mr=chain_and_rewards(max_states=9),
+       slack=st.floats(min_value=1.05, max_value=4.0),
+       t=st.floats(min_value=0.1, max_value=30.0))
+def test_rrl_invariant_to_randomization_rate(mr, slack, t):
+    """The measure must not depend on the (valid) randomization rate Λ —
+    a larger Λ means more, smaller steps but the same answer."""
+    model, rewards = mr
+    base = solve(model, rewards, TRR, [t], eps=1e-10, method="RRL")
+    fast = solve(model, rewards, TRR, [t], eps=1e-10, method="RRL",
+                 rate=model.max_output_rate * slack)
+    assert abs(base.values[0] - fast.values[0]) <= 2e-10 * max(
+        1.0, rewards.max_rate)
+
+
+@settings(max_examples=12, **COMMON)
+@given(mr=chain_and_rewards(max_states=9),
+       t=st.floats(min_value=0.1, max_value=30.0))
+def test_bounds_sandwich_property(mr, t):
+    """RRL's certified bounds must bracket SR's rigorous value."""
+    from repro import RRLBoundsSolver
+    model, rewards = mr
+    ref = solve(model, rewards, TRR, [t], eps=1e-13, method="SR")
+    b = RRLBoundsSolver().solve_bounds(model, rewards, TRR, [t], eps=1e-9)
+    slack = 1e-8 * max(1.0, rewards.max_rate)
+    assert b.lower[0] <= ref.values[0] + slack
+    assert ref.values[0] <= b.upper[0] + slack
