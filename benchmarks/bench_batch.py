@@ -1,0 +1,82 @@
+"""Batch engine — serial vs pooled execution of the benchmark grid.
+
+The acceptance bar for the batch subsystem: the pooled run must produce
+*identical* numbers to the inline run (the task decomposition never
+changes a value), and on multi-core hardware the wall-clock must drop.
+Speedup is only asserted when the machine actually has spare cores and
+the serial run is long enough for the comparison to be meaningful —
+pool startup costs a few hundred ms.
+
+Run:  pytest benchmarks/bench_batch.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from benchmarks.conftest import CONFIG
+from repro.batch.runner import BatchRunner, available_cpus as _cpus
+from repro.batch.scenarios import generate_scenarios, scenario_tasks
+from repro.analysis.experiments import run_grid
+
+#: Measure-only grid (timing figures excluded: timing cells measured on a
+#: contended pool would not be comparable anyway).
+_GRID_CFG = dataclasses.replace(CONFIG, workers=1)
+
+
+@pytest.fixture(scope="module")
+def serial_grid():
+    t0 = time.perf_counter()
+    result = run_grid(_GRID_CFG, include_timings=False)
+    return result, time.perf_counter() - t0
+
+
+def test_grid_serial(benchmark, serial_grid):
+    """Baseline: the measure grid inline (workers=1)."""
+    result, _ = benchmark.pedantic(
+        lambda: (run_grid(_GRID_CFG, include_timings=False), 0.0),
+        rounds=1, iterations=1)
+    assert result.table1.columns == serial_grid[0].table1.columns
+
+
+def test_grid_pooled_matches_serial(benchmark, serial_grid):
+    """Pooled run: identical numbers, lower wall-clock when cores allow."""
+    serial_result, serial_seconds = serial_grid
+    cfg = dataclasses.replace(_GRID_CFG, workers=max(2, min(4, _cpus())))
+
+    t0 = time.perf_counter()
+    pooled = benchmark.pedantic(
+        lambda: run_grid(cfg, include_timings=False),
+        rounds=1, iterations=1)
+    pooled_seconds = time.perf_counter() - t0
+
+    assert pooled.table1.columns == serial_result.table1.columns
+    assert pooled.table2.columns == serial_result.table2.columns
+    assert pooled.ur_values == serial_result.ur_values
+    if _cpus() >= 2 and serial_seconds > 3.0:
+        assert pooled_seconds < serial_seconds, (
+            f"pooled {pooled_seconds:.2f}s not faster than serial "
+            f"{serial_seconds:.2f}s on a {_cpus()}-core machine")
+
+
+def test_scenario_sweep_pooled(benchmark):
+    """Fan a generated scenario sweep over the pool; outcomes stay
+    deterministic and identical to inline execution."""
+    scenarios = generate_scenarios(families=("birth_death", "block"),
+                                   random_count=3, times=(1.0, 10.0),
+                                   eps=1e-8)
+    tasks = scenario_tasks(scenarios, methods=("RRL",))
+
+    inline = BatchRunner(max_workers=1).run(tasks)
+    pooled = benchmark.pedantic(
+        lambda: BatchRunner(max_workers=max(2, min(4, _cpus())),
+                            chunk_size=2).run(tasks),
+        rounds=1, iterations=1)
+
+    assert [o.key for o in pooled] == [o.key for o in inline]
+    for a, b in zip(inline, pooled):
+        assert a.ok and b.ok, (a.error, b.error)
+        assert list(a.value.values) == list(b.value.values)

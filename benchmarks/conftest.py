@@ -9,6 +9,10 @@ Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
   10⁵ h. The SR cells at the largest horizons run millions of steps;
   cells whose predicted step count exceeds the budget are skipped.
 
+``REPRO_BENCH_WORKERS`` (default 1) sets the BatchRunner pool size the
+harness-driven benchmarks fan out over; ``bench_batch.py`` compares
+serial and pooled execution explicitly regardless of this setting.
+
 Models are built once per session and shared across benchmarks.
 """
 
@@ -26,11 +30,12 @@ from repro.models import (
 )
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 if SCALE == "paper":
-    CONFIG = ExperimentConfig.paper()
+    CONFIG = ExperimentConfig.paper(workers=WORKERS)
 else:
-    CONFIG = ExperimentConfig()
+    CONFIG = ExperimentConfig(workers=WORKERS)
 
 GROUPS = CONFIG.groups
 TIMES = CONFIG.times
@@ -39,7 +44,7 @@ EPS = CONFIG.eps
 
 def pytest_report_header(config):
     return (f"repro benchmarks: scale={SCALE} groups={GROUPS} "
-            f"times={TIMES} eps={EPS}")
+            f"times={TIMES} eps={EPS} workers={WORKERS}")
 
 
 @pytest.fixture(scope="session")

@@ -1,28 +1,121 @@
-import time, json
-from repro.analysis.experiments import (ExperimentConfig, run_table1, run_table2,
-                                        run_figure3, run_figure4, PAPER_UR_1E5)
-from repro.models import Raid5Params, build_raid5_reliability, build_raid5_availability
-from repro import RRLSolver, TRR, MRR
+#!/usr/bin/env python
+"""Run the paper's evaluation grid through the parallel BatchRunner.
 
-cfg = ExperimentConfig.paper()
-t0 = time.time()
-print("== models ==", flush=True)
-for g in (20, 40):
-    m, rw, _ = build_raid5_availability(cfg.params_for(g))
-    print(f"G={g}: states={m.n_states} transitions={m.n_transitions} Lambda={m.max_output_rate:.4f}", flush=True)
-print("\n== Table 1 ==", flush=True)
-print(run_table1(cfg).render(), flush=True)
-print("\n== Table 2 ==", flush=True)
-print(run_table2(cfg).render(), flush=True)
-print("\n== UR values + abscissae ==", flush=True)
-for g in (20, 40):
-    m, rw, _ = build_raid5_reliability(cfg.params_for(g))
-    sol = RRLSolver().solve(m, rw, TRR, list(cfg.times), 1e-12)
-    print(f"G={g} UR:", ["%.5f" % v for v in sol.values],
-          "abscissae:", list(map(int, sol.stats["n_abscissae"])),
-          f"(paper UR(1e5)={PAPER_UR_1E5[g]})", flush=True)
-print("\n== Figure 3 ==  (elapsed %.0fs)" % (time.time()-t0), flush=True)
-print(run_figure3(cfg).render(), flush=True)
-print("\n== Figure 4 ==  (elapsed %.0fs)" % (time.time()-t0), flush=True)
-print(run_figure4(cfg).render(), flush=True)
-print("\nTOTAL %.0fs" % (time.time()-t0), flush=True)
+Default: the paper's exact grid (G ∈ {20, 40}, t up to 10⁵ h) fanned over
+a process pool. ``--quick`` switches to a seconds-scale smoke grid for CI;
+``--verify`` re-runs the measure columns serially and asserts the parallel
+results are identical (the batch decomposition must never change a
+number).
+
+Examples
+--------
+    python scripts/run_paper_grid.py                 # paper grid, pooled
+    python scripts/run_paper_grid.py --workers 8
+    python scripts/run_paper_grid.py --quick --verify
+    python scripts/run_paper_grid.py --serial --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    GridResult,
+    run_grid,
+)
+from repro.batch.runner import available_cpus
+from repro.models import build_raid5_availability
+
+
+def _default_workers() -> int:
+    # The grid has O(10) column tasks; ≥ 2 keeps the pooled path exercised
+    # even on small machines, more than 8 buys nothing.
+    return max(2, min(8, available_cpus()))
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    workers = 1 if args.serial else args.workers
+    if args.quick:
+        return ExperimentConfig(groups=(2, 3), times=(1.0, 10.0, 100.0),
+                                eps=1e-10, sr_step_budget=200_000,
+                                workers=workers)
+    return ExperimentConfig.paper(workers=workers)
+
+
+def verify_against_serial(config: ExperimentConfig,
+                          pooled: GridResult) -> None:
+    """Assert the pooled run matches a fresh serial run exactly."""
+    serial = run_grid(dataclasses.replace(config, workers=1),
+                      include_timings=False)
+    if serial.table1.columns != pooled.table1.columns:
+        raise AssertionError("Table 1 differs between serial and pooled run")
+    if serial.table2.columns != pooled.table2.columns:
+        raise AssertionError("Table 2 differs between serial and pooled run")
+    for g, vals in serial.ur_values.items():
+        pv = pooled.ur_values[g]
+        if any(abs(a - b) > config.eps for a, b in zip(vals, pv)):
+            raise AssertionError(f"UR values differ for G={g}")
+    print(f"verify: pooled ({config.workers} workers) == serial — OK",
+          flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="seconds-scale smoke grid (CI)")
+    parser.add_argument("--workers", type=int, default=_default_workers(),
+                        help="process-pool size (default: min(8, CPUs), "
+                             "at least 2)")
+    parser.add_argument("--serial", action="store_true",
+                        help="force inline execution (workers=1)")
+    parser.add_argument("--no-timings", action="store_true",
+                        help="skip the Figure 3/4 timing sweeps")
+    parser.add_argument("--verify", action="store_true",
+                        help="re-run measure columns serially and compare")
+    parser.add_argument("--json", metavar="PATH",
+                        help="dump the full grid result as JSON")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    config = make_config(args)
+    mode = "serial" if config.workers == 1 else f"{config.workers} workers"
+    print(f"== paper grid ({'quick' if args.quick else 'paper'} scale, "
+          f"{mode}) ==", flush=True)
+    if not args.no_timings and config.workers > 1:
+        print(f"note: {config.workers} workers — the Figure 3/4 cells are "
+              "timed while other columns share the machine, so the "
+              "seconds include pool contention; use --serial for "
+              "paper-comparable timings (measure values and step counts "
+              "are unaffected)", flush=True)
+    print("== models ==", flush=True)
+    for g in config.groups:
+        m, _, _ = build_raid5_availability(config.params_for(g))
+        print(f"G={g}: states={m.n_states} transitions={m.n_transitions} "
+              f"Lambda={m.max_output_rate:.4f}", flush=True)
+
+    t0 = time.time()
+    result = run_grid(config, include_timings=not args.no_timings)
+    elapsed = time.time() - t0
+    print(result.render(), flush=True)
+    print(f"\nTOTAL {elapsed:.1f}s ({mode})", flush=True)
+
+    if args.verify:
+        verify_against_serial(config, result)
+    if args.json:
+        payload = result.to_dict()
+        payload["elapsed_seconds"] = elapsed
+        payload["workers"] = config.workers
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

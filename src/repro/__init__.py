@@ -30,6 +30,8 @@ Public API
 * Models: :mod:`repro.models` (parametric RAID-5 generator and a library
   of small analytical chains).
 * Experiments: :mod:`repro.analysis` (the table/figure harness).
+* Batch: :mod:`repro.batch` (shared uniformization kernel, parametric
+  scenario generator, parallel :class:`BatchRunner`).
 """
 
 from repro.exceptions import (
@@ -60,6 +62,9 @@ from repro.core import (
     RRLBoundsSolver,
     RRLSolver,
 )
+from repro.batch.kernel import UniformizationKernel
+from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
+from repro.batch.scenarios import Scenario, generate_scenarios
 
 __version__ = "1.0.0"
 
@@ -76,4 +81,7 @@ __all__ = [
     "StandardRandomizationSolver", "SteadyStateDetectionSolver",
     "AdaptiveUniformizationSolver", "OdeSolver",
     "MultistepRandomizationSolver", "RRLBoundsSolver", "BoundedSolution",
+    # batch subsystem
+    "UniformizationKernel", "BatchRunner", "BatchTask", "BatchOutcome",
+    "Scenario", "generate_scenarios",
 ]

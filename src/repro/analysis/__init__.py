@@ -11,6 +11,7 @@ from repro.analysis.convergence import (
 from repro.analysis.validation import ValidationReport, cross_validate
 from repro.analysis.experiments import (
     ExperimentConfig,
+    GridResult,
     StepTable,
     TimingTable,
     run_steps_table,
@@ -19,6 +20,8 @@ from repro.analysis.experiments import (
     run_table2,
     run_figure3,
     run_figure4,
+    run_ur_values,
+    run_grid,
     PAPER_TABLE1,
     PAPER_TABLE2,
     PAPER_UR_1E5,
@@ -37,6 +40,7 @@ __all__ = [
     "format_table",
     "format_series",
     "ExperimentConfig",
+    "GridResult",
     "StepTable",
     "TimingTable",
     "run_steps_table",
@@ -45,6 +49,8 @@ __all__ = [
     "run_table2",
     "run_figure3",
     "run_figure4",
+    "run_ur_values",
+    "run_grid",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_UR_1E5",

@@ -1,5 +1,17 @@
 """Harness regenerating every table and figure of the paper's evaluation.
 
+Every table/figure is decomposed into independent *column tasks* (one per
+``(G, method)`` pair) and executed through a
+:class:`~repro.batch.runner.BatchRunner`, so the whole grid fans out over
+a process pool: ``ExperimentConfig(workers=4)`` or
+``run_grid(config, runner=...)``. With ``workers=1`` (the default) the
+tasks run inline and the results are identical — the task decomposition
+never changes any number, only where it is computed. Timing columns are
+still measured per-cell *inside* a worker; on an oversubscribed pool the
+absolute seconds inflate, so timing sweeps prefer ``workers <=`` physical
+cores.
+
+
 Section 3 of the paper evaluates four methods on a level-5 RAID model
 (``C_H = 1, D_H = 3``, ``G ∈ {20, 40}``, ``ε = 10⁻¹²``):
 
@@ -31,6 +43,7 @@ import numpy as np
 
 from repro.analysis.reporting import format_series, format_table
 from repro.analysis.runner import get_solver
+from repro.batch.runner import BatchRunner, BatchTask
 from repro.core.rrl_solver import RRLSolver
 from repro.exceptions import TruncationError
 from repro.markov.ctmc import CTMC
@@ -46,12 +59,15 @@ __all__ = [
     "ExperimentConfig",
     "StepTable",
     "TimingTable",
+    "GridResult",
     "run_steps_table",
     "run_timing_table",
     "run_table1",
     "run_table2",
     "run_figure3",
     "run_figure4",
+    "run_ur_values",
+    "run_grid",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_UR_1E5",
@@ -100,14 +116,25 @@ class ExperimentConfig:
     rr_inner_budget: int = 10_000_000
     spare_disks: int = 3
     spare_controllers: int = 1
+    workers: int = 1
+    """Process-pool size for the grid; 1 = inline (identical results)."""
+    chunk_size: int = 1
+    """Tasks per worker round-trip (see :class:`BatchRunner`)."""
 
     @classmethod
     def paper(cls, *, sr_step_budget: int = 10_000_000,
-              rr_inner_budget: int = 10_000_000) -> "ExperimentConfig":
+              rr_inner_budget: int = 10_000_000,
+              workers: int = 1) -> "ExperimentConfig":
         """The paper's exact grid (G ∈ {20,40}, t up to 10⁵ h)."""
         return cls(groups=PAPER_GROUPS, times=PAPER_TIMES,
                    sr_step_budget=sr_step_budget,
-                   rr_inner_budget=rr_inner_budget)
+                   rr_inner_budget=rr_inner_budget,
+                   workers=workers)
+
+    def runner(self) -> BatchRunner:
+        """The :class:`BatchRunner` this configuration asks for."""
+        return BatchRunner(max_workers=self.workers,
+                           chunk_size=self.chunk_size)
 
     def params_for(self, g: int) -> Raid5Params:
         """RAID parameters for group count ``g`` (other knobs fixed)."""
@@ -135,6 +162,13 @@ class StepTable:
             rows.append(row)
         return format_table(self.title, names, rows)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (fixtures, ``--json`` dumps)."""
+        return {"title": self.title, "times": list(self.times),
+                "columns": {k: list(v) for k, v in self.columns.items()},
+                "paper_columns": {k: list(v)
+                                  for k, v in self.paper_columns.items()}}
+
 
 @dataclass
 class TimingTable:
@@ -148,6 +182,11 @@ class TimingTable:
         return format_series(self.title, "t (h)", list(self.times),
                              self.series)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (fixtures, ``--json`` dumps)."""
+        return {"title": self.title, "times": list(self.times),
+                "series": {k: list(v) for k, v in self.series.items()}}
+
 
 def _build(config: ExperimentConfig, g: int, kind: str
            ) -> tuple[CTMC, RewardStructure]:
@@ -160,42 +199,68 @@ def _build(config: ExperimentConfig, g: int, kind: str
     return model, rewards
 
 
-def run_steps_table(config: ExperimentConfig, kind: str) -> StepTable:
-    """Reproduce a step table (Table 1 for ``kind='UA'``, Table 2 for
-    ``'UR'``).
+def _steps_column(config: ExperimentConfig, g: int, kind: str,
+                  column: str) -> list[int]:
+    """One step-table column (module-level: pool workers pickle this).
 
     RR and RRL share their step counts (the transformation phase is
     identical); the RSD column is measured by running the detection loop;
     the SR column is *computed* from the Poisson quantile (running SR is
     not needed to know its step count).
     """
-    times = config.times
+    model, rewards = _build(config, g, kind)
+    if column == "RRL":
+        sol = RRLSolver().solve(model, rewards, Measure.TRR,
+                                list(config.times), config.eps)
+        return [int(s) for s in sol.steps]
+    if column == "RSD":
+        sol = get_solver("RSD").solve(model, rewards, Measure.TRR,
+                                      list(config.times), config.eps)
+        return [int(s) for s in sol.steps]
+    if column == "SR":
+        lam = model.max_output_rate
+        return [sr_required_steps(lam * t, config.eps / rewards.max_rate,
+                                  Measure.TRR) - 1
+                for t in config.times]
+    raise ValueError(f"unknown step column {column!r}")
+
+
+def _steps_table_tasks(config: ExperimentConfig, kind: str
+                       ) -> list[BatchTask]:
+    comparator = "RSD" if kind == "UA" else "SR"
+    return [BatchTask(fn=_steps_column, args=(config, g, kind, column),
+                      key=("steps", kind, g, column))
+            for g in config.groups
+            for column in ("RRL", comparator)]
+
+
+def _assemble_steps_table(config: ExperimentConfig, kind: str,
+                          outcomes) -> StepTable:
+    comparator = "RSD" if kind == "UA" else "SR"
     columns: dict[str, list[int | None]] = {}
     paper_cols: dict[str, list[int]] = {}
-    comparator = "RSD" if kind == "UA" else "SR"
+    for out in outcomes:
+        _, _, g, column = out.key
+        label = f"G={g} RR/RRL" if column == "RRL" else f"G={g} {column}"
+        columns[label] = out.unwrap()
     for g in config.groups:
-        model, rewards = _build(config, g, kind)
-        rrl = RRLSolver().solve(model, rewards, Measure.TRR, list(times),
-                                config.eps)
-        columns[f"G={g} RR/RRL"] = [int(s) for s in rrl.steps]
-        if kind == "UA":
-            rsd = get_solver("RSD").solve(model, rewards, Measure.TRR,
-                                          list(times), config.eps)
-            columns[f"G={g} RSD"] = [int(s) for s in rsd.steps]
-        else:
-            lam = model.max_output_rate
-            columns[f"G={g} SR"] = [
-                sr_required_steps(lam * t, config.eps / rewards.max_rate,
-                                  Measure.TRR) - 1
-                for t in times]
         paper = (PAPER_TABLE1 if kind == "UA" else PAPER_TABLE2).get(g)
-        if paper is not None and times == PAPER_TIMES:
+        if paper is not None and config.times == PAPER_TIMES:
             paper_cols[f"G={g} RR/RRL"] = paper[0]
             paper_cols[f"G={g} {comparator}"] = paper[1]
     title = ("Table 1: steps for UA(t) — RR/RRL vs RSD" if kind == "UA"
              else "Table 2: steps for UR(t) — RR/RRL vs SR")
-    return StepTable(title=title, times=times, columns=columns,
+    return StepTable(title=title, times=config.times, columns=columns,
                      paper_columns=paper_cols)
+
+
+def run_steps_table(config: ExperimentConfig, kind: str,
+                    runner: BatchRunner | None = None) -> StepTable:
+    """Reproduce a step table (Table 1 for ``kind='UA'``, Table 2 for
+    ``'UR'``) by fanning one task per ``(G, column)`` over ``runner``."""
+    tasks = _steps_table_tasks(config, kind)
+    outcomes = (runner or config.runner()).run(tasks)
+    return _assemble_steps_table(config, kind, outcomes)
 
 
 def _timed_solve(method: str, model: CTMC, rewards: RewardStructure,
@@ -209,59 +274,200 @@ def _timed_solve(method: str, model: CTMC, rewards: RewardStructure,
     return time.perf_counter() - start
 
 
-def run_timing_table(config: ExperimentConfig, kind: str) -> TimingTable:
-    """Reproduce a CPU-time figure (Figure 3 for ``'UA'``, 4 for ``'UR'``).
+def _timing_column(config: ExperimentConfig, g: int, kind: str,
+                   method: str) -> list[float | None]:
+    """One timing-figure series (module-level: pool workers pickle this).
 
     Each cell times one standalone ``solve`` at a single ``t`` (the
     paper's experimental setup). Over-budget SR/RR cells are skipped and
-    rendered as ``—``.
+    reported as ``None``.
     """
-    methods = ("RRL", "RR", "RSD") if kind == "UA" else ("RRL", "RR", "SR")
+    model, rewards = _build(config, g, kind)
+    lam = model.max_output_rate
+    vals: list[float | None] = []
+    for t in config.times:
+        predicted = sr_required_steps(
+            lam * t, config.eps / rewards.max_rate, Measure.TRR)
+        if method == "SR" and predicted > config.sr_step_budget:
+            vals.append(None)
+            continue
+        kwargs = {}
+        if method == "RR":
+            if predicted > config.rr_inner_budget:
+                vals.append(None)
+                continue
+            kwargs["inner_max_steps"] = config.rr_inner_budget
+        elif method == "SR":
+            kwargs["max_steps"] = config.sr_step_budget
+        vals.append(_timed_solve(method, model, rewards, t,
+                                 config.eps, **kwargs))
+    return vals
+
+
+def _timing_methods(kind: str) -> tuple[str, ...]:
+    return ("RRL", "RR", "RSD") if kind == "UA" else ("RRL", "RR", "SR")
+
+
+def _timing_table_tasks(config: ExperimentConfig, kind: str
+                        ) -> list[BatchTask]:
+    return [BatchTask(fn=_timing_column, args=(config, g, kind, method),
+                      key=("timing", kind, g, method))
+            for g in config.groups
+            for method in _timing_methods(kind)]
+
+
+def _assemble_timing_table(config: ExperimentConfig, kind: str,
+                           outcomes) -> TimingTable:
     series: dict[str, list[float | None]] = {}
-    for g in config.groups:
-        model, rewards = _build(config, g, kind)
-        lam = model.max_output_rate
-        for method in methods:
-            label = f"G={g}, {method}"
-            vals: list[float | None] = []
-            for t in config.times:
-                predicted = sr_required_steps(
-                    lam * t, config.eps / rewards.max_rate, Measure.TRR)
-                if method == "SR" and predicted > config.sr_step_budget:
-                    vals.append(None)
-                    continue
-                kwargs = {}
-                if method == "RR":
-                    if predicted > config.rr_inner_budget:
-                        vals.append(None)
-                        continue
-                    kwargs["inner_max_steps"] = config.rr_inner_budget
-                elif method == "SR":
-                    kwargs["max_steps"] = config.sr_step_budget
-                vals.append(_timed_solve(method, model, rewards, t,
-                                         config.eps, **kwargs))
-            series[label] = vals
+    for out in outcomes:
+        _, _, g, method = out.key
+        series[f"G={g}, {method}"] = out.unwrap()
     title = ("Figure 3: CPU seconds, UA(t) — RRL vs RR vs RSD"
              if kind == "UA"
              else "Figure 4: CPU seconds, UR(t) — RRL vs RR vs SR")
     return TimingTable(title=title, times=config.times, series=series)
 
 
-def run_table1(config: ExperimentConfig | None = None) -> StepTable:
+def run_timing_table(config: ExperimentConfig, kind: str,
+                     runner: BatchRunner | None = None) -> TimingTable:
+    """Reproduce a CPU-time figure (Figure 3 for ``'UA'``, 4 for ``'UR'``)
+    by fanning one task per ``(G, method)`` series over ``runner``.
+
+    Cells are timed inside the worker; oversubscribed pools inflate the
+    absolute seconds, so keep ``workers`` within the physical core count
+    when the numbers (rather than just the shapes) matter.
+    """
+    tasks = _timing_table_tasks(config, kind)
+    outcomes = (runner or config.runner()).run(tasks)
+    return _assemble_timing_table(config, kind, outcomes)
+
+
+def run_table1(config: ExperimentConfig | None = None,
+               runner: BatchRunner | None = None) -> StepTable:
     """Paper Table 1 (steps, UA)."""
-    return run_steps_table(config or ExperimentConfig(), "UA")
+    return run_steps_table(config or ExperimentConfig(), "UA", runner)
 
 
-def run_table2(config: ExperimentConfig | None = None) -> StepTable:
+def run_table2(config: ExperimentConfig | None = None,
+               runner: BatchRunner | None = None) -> StepTable:
     """Paper Table 2 (steps, UR)."""
-    return run_steps_table(config or ExperimentConfig(), "UR")
+    return run_steps_table(config or ExperimentConfig(), "UR", runner)
 
 
-def run_figure3(config: ExperimentConfig | None = None) -> TimingTable:
+def run_figure3(config: ExperimentConfig | None = None,
+                runner: BatchRunner | None = None) -> TimingTable:
     """Paper Figure 3 (CPU times, UA)."""
-    return run_timing_table(config or ExperimentConfig(), "UA")
+    return run_timing_table(config or ExperimentConfig(), "UA", runner)
 
 
-def run_figure4(config: ExperimentConfig | None = None) -> TimingTable:
+def run_figure4(config: ExperimentConfig | None = None,
+                runner: BatchRunner | None = None) -> TimingTable:
     """Paper Figure 4 (CPU times, UR)."""
-    return run_timing_table(config or ExperimentConfig(), "UR")
+    return run_timing_table(config or ExperimentConfig(), "UR", runner)
+
+
+def _ur_column(config: ExperimentConfig, g: int) -> dict:
+    """RRL unreliability sweep for one model size (pool-picklable)."""
+    model, rewards = _build(config, g, "UR")
+    sol = RRLSolver().solve(model, rewards, Measure.TRR,
+                            list(config.times), config.eps)
+    return {"values": [float(v) for v in sol.values],
+            "abscissae": [int(a) for a in sol.stats["n_abscissae"]]}
+
+
+def _ur_tasks(config: ExperimentConfig) -> list[BatchTask]:
+    return [BatchTask(fn=_ur_column, args=(config, g), key=("ur", g))
+            for g in config.groups]
+
+
+def _assemble_ur(outcomes
+                 ) -> tuple[dict[int, list[float]], dict[int, list[int]]]:
+    values: dict[int, list[float]] = {}
+    abscissae: dict[int, list[int]] = {}
+    for out in outcomes:
+        data = out.unwrap()
+        values[out.key[1]] = data["values"]
+        abscissae[out.key[1]] = data["abscissae"]
+    return values, abscissae
+
+
+def run_ur_values(config: ExperimentConfig | None = None,
+                  runner: BatchRunner | None = None
+                  ) -> tuple[dict[int, list[float]], dict[int, list[int]]]:
+    """In-text UR(t) values and RRL abscissa counts, per model size."""
+    config = config or ExperimentConfig()
+    outcomes = (runner or config.runner()).run(_ur_tasks(config))
+    return _assemble_ur(outcomes)
+
+
+@dataclass
+class GridResult:
+    """Everything the paper's evaluation produces, in one bundle."""
+
+    table1: StepTable
+    table2: StepTable
+    ur_values: dict[int, list[float]]
+    ur_abscissae: dict[int, list[int]]
+    figure3: TimingTable | None = None
+    figure4: TimingTable | None = None
+
+    def render(self) -> str:
+        parts = [self.table1.render(), "", self.table2.render(), ""]
+        for g, vals in self.ur_values.items():
+            paper = PAPER_UR_1E5.get(g)
+            suffix = f"  (paper UR(1e5)={paper})" if paper else ""
+            parts.append(f"G={g} UR: "
+                         + " ".join(f"{v:.5f}" for v in vals)
+                         + f"  abscissae={self.ur_abscissae[g]}{suffix}")
+        for fig in (self.figure3, self.figure4):
+            if fig is not None:
+                parts += ["", fig.render()]
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "table1": self.table1.to_dict(),
+            "table2": self.table2.to_dict(),
+            "ur_values": {str(g): v for g, v in self.ur_values.items()},
+            "ur_abscissae": {str(g): v
+                             for g, v in self.ur_abscissae.items()},
+            "figure3": self.figure3.to_dict() if self.figure3 else None,
+            "figure4": self.figure4.to_dict() if self.figure4 else None,
+        }
+
+
+def run_grid(config: ExperimentConfig | None = None,
+             runner: BatchRunner | None = None,
+             include_timings: bool = True) -> GridResult:
+    """Run the full evaluation grid through one batch fan-out.
+
+    Every column of Tables 1–2, the UR value sweep, and (optionally) every
+    series of Figures 3–4 becomes one task; a single
+    :meth:`BatchRunner.run` call executes them all, so a pool of ``k``
+    workers keeps ``k`` columns in flight at once.
+    """
+    config = config or ExperimentConfig()
+    tasks: list[BatchTask] = []
+    tasks += _steps_table_tasks(config, "UA")
+    tasks += _steps_table_tasks(config, "UR")
+    tasks += _ur_tasks(config)
+    if include_timings:
+        tasks += _timing_table_tasks(config, "UA")
+        tasks += _timing_table_tasks(config, "UR")
+    outcomes = (runner or config.runner()).run(tasks)
+    by_kind: dict[str, list] = {}
+    for out in outcomes:
+        by_kind.setdefault((out.key[0], out.key[1]) if out.key[0] != "ur"
+                           else ("ur", None), []).append(out)
+    table1 = _assemble_steps_table(config, "UA", by_kind[("steps", "UA")])
+    table2 = _assemble_steps_table(config, "UR", by_kind[("steps", "UR")])
+    ur_values, ur_abscissae = _assemble_ur(by_kind[("ur", None)])
+    figure3 = figure4 = None
+    if include_timings:
+        figure3 = _assemble_timing_table(config, "UA",
+                                         by_kind[("timing", "UA")])
+        figure4 = _assemble_timing_table(config, "UR",
+                                         by_kind[("timing", "UR")])
+    return GridResult(table1=table1, table2=table2, ur_values=ur_values,
+                      ur_abscissae=ur_abscissae, figure3=figure3,
+                      figure4=figure4)

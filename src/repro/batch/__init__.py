@@ -1,0 +1,73 @@
+"""Batch execution subsystem: shared stepping kernel, scenario generator
+and parallel experiment runner.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.batch.kernel` — the shared uniformized-stepping kernel every
+  randomization solver routes its DTMC matrix–vector work through, plus a
+  process-wide LRU cache of Fox–Glynn windows keyed on ``(Λt, ε)``;
+* :mod:`repro.batch.scenarios` — a parametric scenario generator producing
+  picklable ``(model family, measure, ε, t)`` grid cells far beyond the
+  paper's two models;
+* :mod:`repro.batch.runner` — a :class:`~repro.batch.runner.BatchRunner`
+  fanning tasks over a ``concurrent.futures`` process pool with chunking,
+  per-task timeouts, structured failure capture and deterministic result
+  ordering.
+
+The package ``__init__`` resolves attributes lazily: the kernel is imported
+*by* the solver modules (``repro.markov.standard`` etc.), so eagerly
+importing the scenario generator here — which pulls in ``repro.models`` and
+transitively the solver package — would create an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "UniformizationKernel",
+    "shared_fox_glynn",
+    "fox_glynn_cache_info",
+    "fox_glynn_cache_clear",
+    "BatchRunner",
+    "BatchTask",
+    "BatchOutcome",
+    "Scenario",
+    "generate_scenarios",
+    "scenario_families",
+    "solve_scenario",
+    "scenario_tasks",
+]
+
+_EXPORTS = {
+    "UniformizationKernel": "repro.batch.kernel",
+    "shared_fox_glynn": "repro.batch.kernel",
+    "fox_glynn_cache_info": "repro.batch.kernel",
+    "fox_glynn_cache_clear": "repro.batch.kernel",
+    "BatchRunner": "repro.batch.runner",
+    "BatchTask": "repro.batch.runner",
+    "BatchOutcome": "repro.batch.runner",
+    "Scenario": "repro.batch.scenarios",
+    "generate_scenarios": "repro.batch.scenarios",
+    "scenario_families": "repro.batch.scenarios",
+    "solve_scenario": "repro.batch.scenarios",
+    "scenario_tasks": "repro.batch.scenarios",
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

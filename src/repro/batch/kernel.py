@@ -1,0 +1,259 @@
+"""Shared uniformized-stepping kernel.
+
+Every randomization-based solver in this package ultimately does the same
+two things:
+
+1. step one or more row vectors through the randomized DTMC,
+   ``π ↦ π P`` with ``P = I + Q/Λ`` (SR's reward sequence ``d_n = (π P^n) r``,
+   RSD's detection loop, the regenerative schedule recursions of RR/RRL,
+   multistep's window summation, adaptive uniformization's per-level steps
+   ``π ↦ π (I + Q/Λ_n)``);
+2. weight the results with Poisson probabilities from a Fox–Glynn window
+   for some ``(Λt, ε)`` pair.
+
+The :class:`UniformizationKernel` centralizes (1). It stores ``P`` once as
+the CSR form of ``Pᵀ`` — the layout scipy's matvec walks sequentially for
+the left product ``π P = (Pᵀ πᵀ)ᵀ`` — and propagates a whole *stack* of
+vectors per step with a single CSR × dense-matrix product: the sparse
+matrix is traversed once per step no matter how many vectors ride along.
+Column ``j`` of a stacked product is bit-for-bit identical to propagating
+vector ``j`` alone (scipy's CSR multi-vector product accumulates each
+column in the same order as its matvec), so batching never changes any
+solver's numerics — a property the unit tests pin down.
+
+:func:`shared_fox_glynn` centralizes (2) behind a process-wide LRU cache
+keyed on ``(Λt, ε)``. Sweeps revisit the same key constantly — a
+multi-``t`` SR solve, RR's truncation selection plus its inner SR solve,
+and a batch run fanning one scenario grid over several methods all ask for
+identical windows. Windows are treated as immutable (callers only read
+``weights``), so one cache serves the whole process; the
+:class:`~repro.batch.runner.BatchRunner` workers each build their own as
+they warm up.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ModelError
+from repro.markov.poisson import FoxGlynnWindow, fox_glynn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.markov.ctmc import CTMC
+    from repro.markov.dtmc import DTMC
+
+__all__ = [
+    "UniformizationKernel",
+    "shared_fox_glynn",
+    "fox_glynn_cache_info",
+    "fox_glynn_cache_clear",
+]
+
+#: Distinct (Λt, ε) windows kept alive; a paper-style grid touches a few
+#: dozen, so 512 keeps every realistic sweep fully cached while bounding
+#: memory (windows are O(√Λt) floats each).
+_FOX_GLYNN_CACHE_SIZE = 512
+
+
+@lru_cache(maxsize=_FOX_GLYNN_CACHE_SIZE)
+def _fox_glynn_cached(rate_time: float, eps: float) -> FoxGlynnWindow:
+    return fox_glynn(rate_time, eps)
+
+
+def shared_fox_glynn(rate_time: float, eps: float) -> FoxGlynnWindow:
+    """Fox–Glynn window from the process-wide ``(Λt, ε)`` LRU cache.
+
+    The returned window is shared: callers must treat ``weights`` as
+    read-only (every in-tree consumer only slices it).
+    """
+    return _fox_glynn_cached(float(rate_time), float(eps))
+
+
+def fox_glynn_cache_info():
+    """``functools.lru_cache`` statistics of the shared window cache."""
+    return _fox_glynn_cached.cache_info()
+
+
+def fox_glynn_cache_clear() -> None:
+    """Drop every cached window (tests; long-lived worker hygiene)."""
+    _fox_glynn_cached.cache_clear()
+
+
+class UniformizationKernel:
+    """Vectorized stepping engine for one randomized DTMC.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic (or sub-stochastic) transition matrix ``P``.
+    rate:
+        Randomization rate ``Λ`` the matrix was built with; optional for
+        stepping-only use, required for :meth:`window`.
+    generator:
+        The CTMC generator ``Q``; optional, required only for
+        :meth:`step_rate` (adaptive uniformization re-randomizes each
+        step with the current active rate instead of a fixed ``Λ``).
+
+    Notes
+    -----
+    Stacks are stored *column-wise*: shape ``(n_states, k)`` holds ``k``
+    distributions, so one ``Pᵀ @ stack`` product advances all of them.
+    1-D vectors work everywhere a stack does.
+    """
+
+    def __init__(self,
+                 transition: sparse.spmatrix | np.ndarray | None,
+                 rate: float | None = None,
+                 generator: sparse.spmatrix | None = None) -> None:
+        if transition is None and generator is None:
+            raise ModelError("need a transition matrix or a generator")
+        self._pt: sparse.csr_matrix | None = None
+        self._qt: sparse.csr_matrix | None = None
+        n: int | None = None
+        if transition is not None:
+            p = sparse.csr_matrix(transition, dtype=np.float64)
+            if p.shape[0] != p.shape[1]:
+                raise ModelError(
+                    f"transition matrix must be square, got {p.shape}")
+            self._pt = p.T.tocsr()
+            n = p.shape[0]
+        if generator is not None:
+            q = sparse.csr_matrix(generator, dtype=np.float64)
+            if q.shape[0] != q.shape[1]:
+                raise ModelError(f"generator must be square, got {q.shape}")
+            if n is not None and q.shape[0] != n:
+                raise ModelError("generator shape does not match transition")
+            self._qt = q.T.tocsr()
+            n = q.shape[0]
+        self._rate = float(rate) if rate is not None else None
+        self._n = int(n)  # type: ignore[arg-type]
+        self._steps = 0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_model(cls, model: "CTMC", rate: float | None = None,
+                   slack: float = 1.0
+                   ) -> tuple["UniformizationKernel", "DTMC", float]:
+        """Uniformize ``model`` and wrap the result.
+
+        Returns ``(kernel, dtmc, Λ)`` — the solvers also need the
+        randomized chain's initial distribution and the realized rate.
+        """
+        dtmc, lam = model.uniformize(rate, slack)
+        kernel = cls(dtmc.transition_matrix, rate=lam,
+                     generator=model.generator)
+        return kernel, dtmc, lam
+
+    @classmethod
+    def from_dtmc(cls, dtmc: "DTMC",
+                  rate: float | None = None) -> "UniformizationKernel":
+        """Wrap an already-randomized chain."""
+        return cls(dtmc.transition_matrix, rate=rate)
+
+    @classmethod
+    def from_generator(cls, model: "CTMC") -> "UniformizationKernel":
+        """Rate-adaptive kernel over ``Q`` only (no fixed-rate ``P``).
+
+        For adaptive uniformization, which re-randomizes every step with
+        the current active rate — building ``P = I + Q/Λ`` would be
+        wasted work.
+        """
+        return cls(None, generator=model.generator)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """State-space size ``n``."""
+        return self._n
+
+    @property
+    def rate(self) -> float | None:
+        """Randomization rate ``Λ`` (``None`` for stepping-only kernels)."""
+        return self._rate
+
+    @property
+    def steps_done(self) -> int:
+        """Matrix–vector/matrix products performed through this kernel."""
+        return self._steps
+
+    # -- stepping ----------------------------------------------------------
+
+    def step(self, stack: np.ndarray) -> np.ndarray:
+        """One uniformized step of every column: ``stack ↦ Pᵀ stack``."""
+        if self._pt is None:
+            raise ModelError(
+                "kernel was built without a transition matrix; "
+                "fixed-rate stepping needs P")
+        self._steps += 1
+        return self._pt @ stack
+
+    def propagate(self, stack: np.ndarray, n_steps: int) -> np.ndarray:
+        """Apply ``n_steps >= 0`` uniformized steps to the stack."""
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        out = np.asarray(stack, dtype=np.float64)
+        for _ in range(n_steps):
+            out = self.step(out)
+        return out
+
+    def step_rate(self, stack: np.ndarray, rate: float) -> np.ndarray:
+        """One step of ``I + Q/rate`` (adaptive uniformization).
+
+        ``rate`` must dominate the exit rates of every state carrying
+        mass; the caller (AU) guarantees this by construction.
+        """
+        if self._qt is None:
+            raise ModelError(
+                "kernel was built without a generator; step_rate needs Q")
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        self._steps += 1
+        return stack + (self._qt @ stack) / rate
+
+    def reward_sequence(self,
+                        initial: np.ndarray,
+                        rewards: np.ndarray,
+                        n_max: int) -> np.ndarray:
+        """The sequence ``d_n = (π P^n) r`` for ``n = 0 .. n_max-1``.
+
+        ``initial`` may be one vector ``(n,)`` (result ``(n_max,)``) or a
+        column stack ``(n, k)`` (result ``(n_max, k)``, column ``j``
+        bit-identical to the per-vector run of ``initial[:, j]``).
+        """
+        if n_max < 1:
+            raise ValueError("n_max must be >= 1")
+        pi = np.asarray(initial, dtype=np.float64)
+        r = np.asarray(rewards, dtype=np.float64)
+        if pi.shape[0] != self._n or r.shape != (self._n,):
+            raise ModelError("initial/rewards shape does not match kernel")
+        out = np.empty((n_max,) + pi.shape[1:], dtype=np.float64)
+        for n in range(n_max):
+            if pi.ndim == 1:
+                out[n] = r @ pi
+            else:
+                # Contract column-by-column over contiguous copies: BLAS
+                # rounds a gemv (and even a strided dot) differently from
+                # the contiguous dot of the single-vector path, and the
+                # bit-for-bit batching guarantee matters more than the
+                # O(nk) copy — stepping dominates the cost anyway.
+                for j in range(pi.shape[1]):
+                    out[n, j] = r @ np.ascontiguousarray(pi[:, j])
+            if n + 1 < n_max:
+                pi = self.step(pi)
+        return out
+
+    def window(self, t: float, eps: float) -> FoxGlynnWindow:
+        """Cached Fox–Glynn window for ``(Λ·t, eps)``."""
+        if self._rate is None:
+            raise ModelError("kernel has no randomization rate")
+        return shared_fox_glynn(self._rate * t, eps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"UniformizationKernel(n_states={self._n}, "
+                f"rate={self._rate}, steps_done={self._steps})")

@@ -1,0 +1,221 @@
+"""Parallel batch execution of experiment tasks.
+
+The paper's evaluation — and any serious sweep built on top of it — is a
+grid of independent ``(model, measure, ε, t, method)`` cells. The
+:class:`BatchRunner` fans such cells over a ``concurrent.futures`` process
+pool with:
+
+* **chunking** — adjacent tasks are grouped so cheap cells amortize the
+  pickle/IPC overhead of a round-trip;
+* **structured failure capture** — a task raising (e.g.
+  :class:`~repro.exceptions.TruncationError` for an over-budget SR cell)
+  produces a :class:`BatchOutcome` carrying the exception type, message
+  and formatted traceback instead of poisoning the whole run;
+* **per-task timeouts** — a chunk that exceeds ``task_timeout`` × (chunk
+  length) is recorded as timed out (best-effort: a running worker cannot
+  be interrupted mid-task, so the deadline is enforced at collection
+  time);
+* **deterministic ordering** — results always come back in submission
+  order, whatever order the workers finished in.
+
+Tasks must be picklable: module-level functions plus plain-data arguments
+(every in-tree model/reward/measure object pickles cleanly). With
+``max_workers=1`` (or a single task) the runner degrades to an inline
+loop with identical semantics minus timeout enforcement, so library code
+can route *everything* through it unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback as _traceback
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["BatchTask", "BatchOutcome", "BatchExecutionError", "BatchRunner",
+           "available_cpus"]
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware, ≥ 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+class BatchExecutionError(RuntimeError):
+    """Raised by :meth:`BatchOutcome.unwrap` on a failed task."""
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One unit of work: ``fn(*args, **kwargs)`` under identity ``key``."""
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    key: Any = None
+
+
+@dataclass
+class BatchOutcome:
+    """Result (or structured failure) of one :class:`BatchTask`.
+
+    ``error_type`` holds the exception class name (``"TruncationError"``,
+    ``"TimeoutError"``, ``"BrokenProcessPool"``, ...) so callers can
+    pattern-match expected failures without importing worker internals.
+    """
+
+    key: Any
+    ok: bool
+    value: Any = None
+    error_type: str | None = None
+    error: str | None = None
+    traceback: str | None = None
+    duration: float = 0.0
+    worker_pid: int | None = None
+
+    def unwrap(self) -> Any:
+        """Return ``value`` or raise with the captured failure context."""
+        if self.ok:
+            return self.value
+        raise BatchExecutionError(
+            f"task {self.key!r} failed with {self.error_type}: {self.error}"
+            + (f"\n{self.traceback}" if self.traceback else ""))
+
+
+def _run_one(task: BatchTask) -> BatchOutcome:
+    """Execute one task, converting any exception into a failure outcome."""
+    start = time.perf_counter()
+    try:
+        value = task.fn(*task.args, **task.kwargs)
+    except Exception as exc:  # KeyboardInterrupt/SystemExit must propagate
+        return BatchOutcome(
+            key=task.key, ok=False,
+            error_type=type(exc).__name__, error=str(exc),
+            traceback=_traceback.format_exc(),
+            duration=time.perf_counter() - start,
+            worker_pid=os.getpid())
+    return BatchOutcome(key=task.key, ok=True, value=value,
+                        duration=time.perf_counter() - start,
+                        worker_pid=os.getpid())
+
+
+def _run_chunk(tasks: list[BatchTask]) -> list[BatchOutcome]:
+    """Worker entry point: execute a chunk sequentially."""
+    return [_run_one(t) for t in tasks]
+
+
+class BatchRunner:
+    """Fan :class:`BatchTask` lists over a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the CPUs available to this process. With
+        ``max_workers=1`` everything runs inline (no subprocesses), which
+        is also the fallback when only one task is submitted.
+    chunk_size:
+        Tasks per worker round-trip. 1 maximizes load balance; larger
+        values amortize IPC for many cheap tasks.
+    task_timeout:
+        Soft per-task seconds budget. A chunk is given
+        ``task_timeout * len(chunk)`` from the moment collection starts;
+        on expiry its tasks are recorded as failed with
+        ``error_type="TimeoutError"`` and :meth:`run` returns without
+        joining the hung worker (the orphaned process runs its current
+        task to completion or dies with the interpreter — a running
+        task cannot be interrupted from outside). ``None`` disables
+        deadlines. Inline runs are never interrupted.
+    mp_context:
+        ``multiprocessing`` start-method name (``"fork"``, ``"spawn"``,
+        ...); ``None`` uses the platform default.
+    """
+
+    def __init__(self,
+                 max_workers: int | None = None,
+                 chunk_size: int = 1,
+                 task_timeout: float | None = None,
+                 mp_context: str | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if task_timeout is not None and task_timeout <= 0.0:
+            raise ValueError("task_timeout must be positive")
+        self._max_workers = max_workers or available_cpus()
+        self._chunk_size = int(chunk_size)
+        self._task_timeout = task_timeout
+        self._mp_context = mp_context
+
+    @property
+    def max_workers(self) -> int:
+        """Effective pool size."""
+        return self._max_workers
+
+    # -- public API --------------------------------------------------------
+
+    def map(self, fn: Callable[..., Any], items: Iterable[Any],
+            key_fn: Callable[[Any], Any] | None = None) -> list[BatchOutcome]:
+        """Run ``fn(item)`` for every item (convenience over :meth:`run`)."""
+        tasks = [BatchTask(fn=fn, args=(item,),
+                           key=key_fn(item) if key_fn else i)
+                 for i, item in enumerate(items)]
+        return self.run(tasks)
+
+    def run(self, tasks: Sequence[BatchTask]) -> list[BatchOutcome]:
+        """Execute every task; outcomes come back in submission order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self._max_workers == 1 or len(tasks) == 1:
+            return [_run_one(t) for t in tasks]
+        return self._run_pool(tasks)
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_pool(self, tasks: list[BatchTask]) -> list[BatchOutcome]:
+        from concurrent.futures import ProcessPoolExecutor, TimeoutError \
+            as FuturesTimeout
+        import multiprocessing
+
+        chunks = [tasks[i:i + self._chunk_size]
+                  for i in range(0, len(tasks), self._chunk_size)]
+        ctx = (multiprocessing.get_context(self._mp_context)
+               if self._mp_context else None)
+        outcomes: list[BatchOutcome] = []
+        timed_out = False
+        pool = ProcessPoolExecutor(max_workers=self._max_workers,
+                                   mp_context=ctx)
+        try:
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            for chunk, future in zip(chunks, futures):
+                budget = (self._task_timeout * len(chunk)
+                          if self._task_timeout is not None else None)
+                try:
+                    outcomes.extend(future.result(timeout=budget))
+                except FuturesTimeout:
+                    timed_out = True
+                    future.cancel()
+                    outcomes.extend(
+                        BatchOutcome(key=t.key, ok=False,
+                                     error_type="TimeoutError",
+                                     error=f"no result within {budget:.3g}s "
+                                           "(chunk deadline)")
+                        for t in chunk)
+                except Exception as exc:  # BrokenProcessPool and friends;
+                    # KeyboardInterrupt must abort the whole run instead.
+                    outcomes.extend(
+                        BatchOutcome(key=t.key, ok=False,
+                                     error_type=type(exc).__name__,
+                                     error=str(exc))
+                        for t in chunk)
+        finally:
+            # After a timeout, do NOT wait for the hung worker — run()'s
+            # deadline contract beats a clean join. The worker process
+            # survives until its task finishes (documented best-effort).
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+        return outcomes

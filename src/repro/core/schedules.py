@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
+from repro.batch.kernel import UniformizationKernel
 from repro.exceptions import ModelError
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import RewardStructure
@@ -101,7 +102,7 @@ class ScheduleBuilder:
                  absorbing: np.ndarray,
                  reward: np.ndarray,
                  u0: np.ndarray) -> None:
-        self._pt = transition.T.tocsr()
+        self._kernel = UniformizationKernel(transition)
         self._r_idx = int(regenerative)
         self._abs_idx = np.asarray(absorbing, dtype=int)
         self._reward = np.asarray(reward, dtype=np.float64)
@@ -190,7 +191,7 @@ class ScheduleBuilder:
         """Advance one step (no-op when exhausted)."""
         if self._exhausted:
             return
-        y = self._pt @ self._u
+        y = self._kernel.step(self._u)
         q = float(y[self._r_idx])
         y[self._r_idx] = 0.0
         if self._abs_idx.size:

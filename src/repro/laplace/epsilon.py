@@ -29,6 +29,13 @@ __all__ = ["EpsilonAccelerator", "wynn_epsilon"]
 #: lower-order estimate rather than dividing by ~0.
 _TINY = 1e-300
 
+#: Relative degeneracy threshold: a denominator within round-off of the
+#: column entries means the column has converged to working precision —
+#: dividing by it would inject ``1/round-off`` garbage into deeper columns
+#: (the classic epsilon-table failure on exactly-geometric input, where
+#: ``ε_2`` is already exact and every deeper column is pure noise).
+_DEGENERATE_RTOL = 5e-14
+
 
 class EpsilonAccelerator:
     """Incremental epsilon-algorithm table over a stream of partial sums.
@@ -72,7 +79,9 @@ class EpsilonAccelerator:
         for k in range(1, len(old) + 1):
             denom = new[k - 1] - old[k - 1]
             prev = old[k - 2] if k >= 2 else 0.0
-            if denom == 0.0 or not np.isfinite(denom):
+            scale = abs(new[k - 1]) + abs(old[k - 1])
+            if (not np.isfinite(denom)
+                    or abs(denom) <= _DEGENERATE_RTOL * scale + _TINY):
                 # Exact convergence at this depth (or an inf/inf collision
                 # in an odd column): stop deepening the table here. The
                 # last finished even column already holds the limit.

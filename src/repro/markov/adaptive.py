@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch.kernel import UniformizationKernel, shared_fox_glynn
 from repro.exceptions import TruncationError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
-from repro.markov.poisson import fox_glynn
 from repro.markov.rewards import Measure, RewardStructure
 
 __all__ = ["AdaptiveUniformizationSolver"]
@@ -48,7 +48,7 @@ def _birth_count_distribution(rates: np.ndarray, t: float,
         out = np.zeros(m + 1)
         out[0] = 1.0
         return out
-    window = fox_glynn(lam_star * t, eps)
+    window = shared_fox_glynn(lam_star * t, eps)
     beta = np.zeros(m + 1)
     v = np.zeros(m + 1)
     v[0] = 1.0
@@ -109,7 +109,7 @@ class AdaptiveUniformizationSolver:
                                      steps=np.zeros(t_arr.size, dtype=int),
                                      method=self.method_name, stats={})
 
-        q = model.generator
+        kernel = UniformizationKernel.from_generator(model)
         out_rates = model.output_rates
         t_max = float(t_arr.max())
         lam_global = model.max_output_rate
@@ -139,7 +139,7 @@ class AdaptiveUniformizationSolver:
                 break
             rates_seq.append(lam_n)
             # Conditional step with rate lam_n: cond' = cond (I + Q/lam_n).
-            cond = cond + (q.T @ cond) / lam_n
+            cond = kernel.step_rate(cond, lam_n)
             cond = np.clip(cond, 0.0, None)
             s = cond.sum()
             if s <= 0.0:

@@ -25,10 +25,10 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.batch.kernel import UniformizationKernel
 from repro.exceptions import TruncationError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
-from repro.markov.poisson import fox_glynn
 from repro.markov.rewards import Measure, RewardStructure
 
 __all__ = ["MultistepRandomizationSolver"]
@@ -102,13 +102,14 @@ class MultistepRandomizationSolver:
                 method=self.method_name, stats={"rate": rate})
 
         p = dtmc.transition_matrix
+        kernel = UniformizationKernel.from_dtmc(dtmc, rate)
         r = rewards.rates
         values = np.empty(t_arr.size)
         steps = np.empty(t_arr.size, dtype=np.int64)
         total_matmuls = 0
         worst_nnz = p.nnz
         for i, t in enumerate(t_arr):
-            window = fox_glynn(rate * t, eps / r_max)
+            window = kernel.window(t, eps / r_max)
             pi, matmuls, max_nnz = self._skip_to(p, dtmc.initial.copy(),
                                                  window.left)
             total_matmuls += matmuls
@@ -117,7 +118,7 @@ class MultistepRandomizationSolver:
             for j in range(window.size):
                 acc += window.weights[j] * float(r @ pi)
                 if j + 1 < window.size:
-                    pi = p.T @ pi
+                    pi = kernel.step(pi)
             values[i] = acc
             # Cost metric: window steps + log-many (dense-ish) matmuls.
             steps[i] = window.size - 1 + matmuls

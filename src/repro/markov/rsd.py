@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch.kernel import UniformizationKernel
 from repro.exceptions import ModelError, TruncationError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.poisson import (
-    fox_glynn,
     poisson_expected_excess,
     poisson_sf,
 )
@@ -77,7 +77,8 @@ class SteadyStateDetectionSolver:
             raise ModelError(
                 "steady-state detection requires an irreducible model")
 
-        dtmc, rate = model.uniformize(self._rate)
+        kernel, dtmc, rate = UniformizationKernel.from_model(model,
+                                                             self._rate)
         r = rewards.rates
         r_max = rewards.max_rate
         if r_max == 0.0:
@@ -118,7 +119,7 @@ class SteadyStateDetectionSolver:
                 k_ss = n + 1  # d_n for n >= k_ss replaced by d_inf
                 break
             if n + 1 < n_budget:
-                pi = dtmc.step(pi)
+                pi = kernel.step(pi)
         d = np.asarray(d_list)
         n_have = d.size
 
@@ -131,7 +132,7 @@ class SteadyStateDetectionSolver:
             # convention of the paper's tables.
             steps[i] = cut - 1
             if measure is Measure.TRR:
-                window = fox_glynn(lam_t, eps / (2.0 * r_max))
+                window = kernel.window(t, eps / (2.0 * r_max))
                 hi = min(window.right + 1, cut)
                 acc = 0.0
                 if hi > window.left:

@@ -28,11 +28,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch.kernel import UniformizationKernel
 from repro.exceptions import TruncationError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.poisson import (
-    fox_glynn,
     poisson_expected_excess,
     poisson_right_quantile,
     poisson_sf,
@@ -112,7 +112,8 @@ class StandardRandomizationSolver:
         t_arr = as_time_array(times)
         if eps <= 0.0:
             raise ValueError("eps must be positive")
-        dtmc, rate = model.uniformize(self._rate)
+        kernel, dtmc, rate = UniformizationKernel.from_model(model,
+                                                             self._rate)
         r_max = rewards.max_rate
         if r_max == 0.0:
             # All rewards zero: the measure is identically zero.
@@ -139,21 +140,16 @@ class StandardRandomizationSolver:
                 f"SR needs {n_max} steps (> max_steps={self._max_steps}); "
                 "use RR/RRL for this horizon")
 
-        # Shared reward sequence d_n = (π P^n) r, n = 0..n_max-1.
-        d = np.empty(n_max, dtype=np.float64)
-        pi = dtmc.initial.copy()
-        r = rewards.rates
-        for n in range(n_max):
-            d[n] = r @ pi
-            if n + 1 < n_max:
-                pi = dtmc.step(pi)
+        # Shared reward sequence d_n = (π P^n) r, n = 0..n_max-1, stepped
+        # through the shared uniformization kernel.
+        d = kernel.reward_sequence(dtmc.initial, rewards.rates, n_max)
 
         values = np.empty(t_arr.size, dtype=np.float64)
         for i, t in enumerate(t_arr):
             lam_t = rate * t
             n_i = int(terms[i])
             if measure is Measure.TRR:
-                window = fox_glynn(lam_t, eps / r_max)
+                window = kernel.window(t, eps / r_max)
                 hi = min(window.right + 1, n_i)
                 w = window.weights[: hi - window.left]
                 values[i] = float(w @ d[window.left: hi])

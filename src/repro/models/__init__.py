@@ -22,6 +22,7 @@ from repro.models.library import (
     cyclic_chain,
     tandem_repair,
     random_ctmc,
+    block_structured_ctmc,
 )
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "cyclic_chain",
     "tandem_repair",
     "random_ctmc",
+    "block_structured_ctmc",
 ]

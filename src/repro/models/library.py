@@ -23,6 +23,7 @@ __all__ = [
     "cyclic_chain",
     "tandem_repair",
     "random_ctmc",
+    "block_structured_ctmc",
 ]
 
 
@@ -161,3 +162,54 @@ def random_ctmc(n: int, density: float = 0.3, seed: int = 0,
             trans.append((int(s), core + k,
                           float(rng.uniform(0.01, 0.1)) * rate_scale))
     return CTMC.from_transitions(n, trans, initial=initial)
+
+
+def block_structured_ctmc(n_blocks: int, block_size: int,
+                          intra_scale: float = 1.0,
+                          inter_scale: float = 1e-3,
+                          density: float = 0.5,
+                          seed: int = 0) -> tuple[CTMC, RewardStructure]:
+    """Nearly-completely-decomposable chain: dense fast blocks, slow links.
+
+    ``n_blocks`` blocks of ``block_size`` states each. Within a block,
+    random rates of magnitude ``intra_scale`` on a Hamiltonian ring plus
+    extra arcs with probability ``density``; between consecutive blocks
+    (cyclically, so the chain is irreducible) a single slow arc of
+    magnitude ``inter_scale``. The time-scale separation
+    ``intra_scale / inter_scale`` makes the chain stiff the same way
+    repair ≫ failure does in dependability models — the regime the
+    regenerative methods target — while being arbitrarily scalable.
+
+    The reward is the indicator of the last block (think "degraded
+    subsystem occupied"), giving a small-probability measure like the
+    paper's unavailability.
+    """
+    if n_blocks < 2 or block_size < 2:
+        raise ModelError("need n_blocks >= 2 and block_size >= 2")
+    if intra_scale <= 0.0 or inter_scale <= 0.0:
+        raise ModelError("rate scales must be positive")
+    rng = np.random.default_rng(seed)
+    n = n_blocks * block_size
+    trans: list[tuple[int, int, float]] = []
+    for b in range(n_blocks):
+        base = b * block_size
+        # Fast intra-block dynamics on a ring plus random extra arcs.
+        for i in range(block_size):
+            j = (i + 1) % block_size
+            trans.append((base + i, base + j,
+                          float(rng.uniform(0.5, 1.5)) * intra_scale))
+        extra = rng.random((block_size, block_size)) < density
+        rates = rng.uniform(0.2, 2.0, size=(block_size, block_size))
+        for i in range(block_size):
+            for j in range(block_size):
+                if i != j and extra[i, j]:
+                    trans.append((base + i, base + j,
+                                  float(rates[i, j]) * intra_scale))
+        # One slow arc into the next block (cyclic → irreducible).
+        nxt = ((b + 1) % n_blocks) * block_size
+        src = base + int(rng.integers(block_size))
+        dst = nxt + int(rng.integers(block_size))
+        trans.append((src, dst, float(rng.uniform(0.5, 1.5)) * inter_scale))
+    model = CTMC.from_transitions(n, trans, initial=0)
+    last = range((n_blocks - 1) * block_size, n)
+    return model, RewardStructure.indicator(n, last)

@@ -1,0 +1,169 @@
+"""Unit tests for the shared uniformization kernel.
+
+The load-bearing property: batching vectors into a stack must be
+*bit-for-bit* identical to stepping each vector alone — the solvers that
+were rewired onto the kernel may not change a single ulp.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.kernel import (
+    UniformizationKernel,
+    fox_glynn_cache_clear,
+    fox_glynn_cache_info,
+    shared_fox_glynn,
+)
+from repro.exceptions import ModelError
+from repro.markov.poisson import fox_glynn
+from repro.models.library import random_ctmc, two_state_availability
+
+
+@pytest.fixture
+def kernel_and_model():
+    model = random_ctmc(40, density=0.2, seed=7)
+    kernel, dtmc, rate = UniformizationKernel.from_model(model)
+    return kernel, dtmc, rate, model
+
+
+class TestStackedPropagation:
+    def test_stack_equals_per_vector_bitwise(self, kernel_and_model):
+        kernel, dtmc, _, model = kernel_and_model
+        rng = np.random.default_rng(3)
+        stack = rng.dirichlet(np.ones(model.n_states), size=5).T  # (n, 5)
+        out_stack = kernel.propagate(stack.copy(), 17)
+        for j in range(stack.shape[1]):
+            out_one = kernel.propagate(stack[:, j].copy(), 17)
+            assert np.array_equal(out_stack[:, j], out_one)
+
+    def test_step_matches_dtmc_step_bitwise(self, kernel_and_model):
+        kernel, dtmc, _, _ = kernel_and_model
+        pi = dtmc.initial.copy()
+        assert np.array_equal(kernel.step(pi), dtmc.step(pi))
+
+    def test_reward_sequence_stack_columns(self, kernel_and_model):
+        kernel, dtmc, _, model = kernel_and_model
+        rng = np.random.default_rng(11)
+        r = rng.random(model.n_states)
+        stack = rng.dirichlet(np.ones(model.n_states), size=3).T
+        d_stack = kernel.reward_sequence(stack, r, 12)
+        assert d_stack.shape == (12, 3)
+        for j in range(3):
+            d_one = kernel.reward_sequence(stack[:, j], r, 12)
+            assert np.array_equal(d_stack[:, j], d_one)
+
+    def test_reward_sequence_matches_manual_loop(self, kernel_and_model):
+        kernel, dtmc, _, model = kernel_and_model
+        r = np.linspace(0.0, 1.0, model.n_states)
+        d = kernel.reward_sequence(dtmc.initial, r, 9)
+        pi = dtmc.initial.copy()
+        for n in range(9):
+            assert d[n] == r @ pi
+            pi = dtmc.step(pi)
+
+    def test_propagate_zero_steps_is_identity(self, kernel_and_model):
+        kernel, dtmc, _, _ = kernel_and_model
+        out = kernel.propagate(dtmc.initial, 0)
+        assert np.array_equal(out, dtmc.initial)
+
+    def test_step_counter(self, kernel_and_model):
+        kernel, dtmc, _, _ = kernel_and_model
+        assert kernel.steps_done == 0
+        kernel.propagate(dtmc.initial, 4)
+        assert kernel.steps_done == 4
+
+
+class TestStepRate:
+    def test_matches_explicit_generator_step(self):
+        model, _ = two_state_availability()
+        kernel, _, _ = UniformizationKernel.from_model(model)
+        v = model.initial.copy()
+        lam = model.max_output_rate
+        expected = v + (model.generator.T @ v) / lam
+        assert np.allclose(kernel.step_rate(v, lam), expected,
+                           rtol=0.0, atol=0.0)
+
+    def test_requires_generator(self):
+        model, _ = two_state_availability()
+        dtmc, rate = model.uniformize()
+        kernel = UniformizationKernel.from_dtmc(dtmc, rate)
+        with pytest.raises(ModelError):
+            kernel.step_rate(dtmc.initial, 1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        model, _ = two_state_availability()
+        kernel, dtmc, _ = UniformizationKernel.from_model(model)
+        with pytest.raises(ValueError):
+            kernel.step_rate(dtmc.initial, 0.0)
+
+    def test_generator_only_kernel(self):
+        # AU's cheap construction: no P is built, step_rate still works
+        # and fixed-rate stepping is refused.
+        model, _ = two_state_availability()
+        kernel = UniformizationKernel.from_generator(model)
+        assert kernel.n_states == model.n_states
+        v = model.initial.copy()
+        lam = model.max_output_rate
+        expected = v + (model.generator.T @ v) / lam
+        assert np.array_equal(kernel.step_rate(v, lam), expected)
+        with pytest.raises(ModelError):
+            kernel.step(v)
+        with pytest.raises(ModelError):
+            UniformizationKernel(None)
+
+
+class TestFoxGlynnCache:
+    def test_hit_behavior(self):
+        fox_glynn_cache_clear()
+        w1 = shared_fox_glynn(50.0, 1e-10)
+        info = fox_glynn_cache_info()
+        assert info.misses == 1 and info.hits == 0
+        w2 = shared_fox_glynn(50.0, 1e-10)
+        info = fox_glynn_cache_info()
+        assert info.hits == 1
+        assert w1 is w2  # same cached object, not a recomputation
+        shared_fox_glynn(50.0, 1e-8)  # different eps → different key
+        assert fox_glynn_cache_info().misses == 2
+
+    def test_cached_window_matches_direct(self):
+        fox_glynn_cache_clear()
+        cached = shared_fox_glynn(123.5, 1e-9)
+        direct = fox_glynn(123.5, 1e-9)
+        assert cached.left == direct.left and cached.right == direct.right
+        assert np.array_equal(cached.weights, direct.weights)
+
+    def test_kernel_window_uses_shared_cache(self):
+        model, _ = two_state_availability()
+        kernel, _, rate = UniformizationKernel.from_model(model)
+        fox_glynn_cache_clear()
+        kernel.window(5.0, 1e-10)
+        kernel.window(5.0, 1e-10)
+        info = fox_glynn_cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_window_requires_rate(self):
+        model, _ = two_state_availability()
+        dtmc, _ = model.uniformize()
+        kernel = UniformizationKernel.from_dtmc(dtmc)
+        with pytest.raises(ModelError):
+            kernel.window(1.0, 1e-10)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ModelError):
+            UniformizationKernel(np.ones((2, 3)))
+
+    def test_rejects_negative_steps(self):
+        model, _ = two_state_availability()
+        kernel, dtmc, _ = UniformizationKernel.from_model(model)
+        with pytest.raises(ValueError):
+            kernel.propagate(dtmc.initial, -1)
+
+    def test_reward_sequence_shape_checks(self):
+        model, _ = two_state_availability()
+        kernel, dtmc, _ = UniformizationKernel.from_model(model)
+        with pytest.raises(ModelError):
+            kernel.reward_sequence(dtmc.initial, np.ones(5), 3)
+        with pytest.raises(ValueError):
+            kernel.reward_sequence(dtmc.initial, np.ones(2), 0)

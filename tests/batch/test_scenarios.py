@@ -1,0 +1,105 @@
+"""Unit tests for the parametric scenario generator."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.batch.runner import BatchRunner
+from repro.batch.scenarios import (
+    Scenario,
+    build_scenario_model,
+    generate_scenarios,
+    scenario_families,
+    scenario_tasks,
+    solve_scenario,
+)
+from repro.exceptions import ModelError
+from repro.markov.rewards import Measure
+
+
+class TestGeneration:
+    def test_families_registered(self):
+        assert set(scenario_families()) == {
+            "raid5", "multiprocessor", "birth_death", "block"}
+
+    def test_deterministic_for_seed(self):
+        a = generate_scenarios(seed=42, random_count=3)
+        b = generate_scenarios(seed=42, random_count=3)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert [s.params for s in a] == [s.params for s in b]
+
+    def test_seed_changes_random_families(self):
+        a = generate_scenarios(families=("birth_death",), seed=1,
+                               random_count=4)
+        b = generate_scenarios(families=("birth_death",), seed=2,
+                               random_count=4)
+        assert [s.params for s in a] != [s.params for s in b]
+
+    def test_family_filter(self):
+        only = generate_scenarios(families=("block",), random_count=2)
+        assert {s.family for s in only} == {"block"}
+        assert len(only) == 2
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ModelError, match="unknown scenario families"):
+            generate_scenarios(families=("nope",))
+
+    def test_measures_expand_grid(self):
+        scs = generate_scenarios(families=("birth_death",), random_count=2,
+                                 measures=(Measure.TRR, Measure.MRR))
+        assert len(scs) == 4
+        assert sum(s.measure is Measure.MRR for s in scs) == 2
+        mrr_names = [s.name for s in scs if s.measure is Measure.MRR]
+        assert all(name.endswith("/mrr") for name in mrr_names)
+
+    def test_scenarios_are_picklable(self):
+        for s in generate_scenarios(random_count=2):
+            clone = pickle.loads(pickle.dumps(s))
+            assert clone == s
+
+
+class TestBuilding:
+    def test_every_scenario_builds(self):
+        for s in generate_scenarios(random_count=2):
+            model, rewards = build_scenario_model(s)
+            assert model.n_states == rewards.n_states
+            assert rewards.max_rate > 0.0
+
+    def test_rebuild_is_bit_identical(self):
+        # Pool workers rebuild models from the spec; the rebuild must
+        # match exactly or parallel results could drift from serial ones.
+        s = generate_scenarios(families=("block",), random_count=1)[0]
+        m1, r1 = build_scenario_model(s)
+        m2, r2 = build_scenario_model(s)
+        assert np.array_equal(m1.generator.toarray(), m2.generator.toarray())
+        assert np.array_equal(r1.rates, r2.rates)
+
+    def test_unknown_family_build_error(self):
+        bad = Scenario(name="x", family="martian", params={})
+        with pytest.raises(ModelError, match="unknown scenario family"):
+            bad.build()
+
+
+class TestSolving:
+    def test_solve_scenario_end_to_end(self):
+        s = generate_scenarios(families=("birth_death",), random_count=1,
+                               times=(1.0, 5.0), eps=1e-8)[0]
+        sol = solve_scenario(s, method="SR")
+        assert sol.values.shape == (2,)
+        assert np.all(sol.values >= 0.0)
+
+    def test_scenario_tasks_through_runner(self):
+        scs = generate_scenarios(families=("birth_death",), random_count=2,
+                                 times=(1.0,), eps=1e-8)
+        tasks = scenario_tasks(scs, methods=("SR", "ODE"))
+        assert [t.key for t in tasks] == [
+            (s.name, m) for s in scs for m in ("SR", "ODE")]
+        outs = BatchRunner(max_workers=1).run(tasks)
+        assert all(o.ok for o in outs)
+        # SR and ODE agree on the same scenario.
+        by_key = {o.key: o.value for o in outs}
+        for s in scs:
+            sr = by_key[(s.name, "SR")].values[0]
+            ode = by_key[(s.name, "ODE")].values[0]
+            assert sr == pytest.approx(ode, abs=1e-6)

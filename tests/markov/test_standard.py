@@ -74,6 +74,50 @@ class TestWorkAccounting:
         assert poisson_expected_excess(50.0, n - 2) > 1e-9
 
 
+class TestSharedSequenceStepCounts:
+    """The docstring promise: the ``d_n`` sequence is shared across all
+    requested time points (one pass pays for the largest horizon), yet the
+    reported per-``t`` step counts remain the *standalone* counts
+    ``sr_required_steps`` predicts — the paper's tables convention. Pinned
+    explicitly so the extraction of the stepping loop into the shared
+    batch kernel (or any future refactor) cannot silently change it."""
+
+    def test_per_t_steps_match_standalone_counts(self, two_state):
+        model, rewards, *_ = two_state
+        times = [0.5, 2.0, 10.0, 200.0]
+        eps = 1e-10
+        for measure in (TRR, MRR):
+            sol = StandardRandomizationSolver().solve(model, rewards,
+                                                      measure, times, eps)
+            lam = model.max_output_rate
+            r_max = rewards.max_rate
+            for i, t in enumerate(times):
+                if measure is TRR:
+                    expected = sr_required_steps(lam * t, eps / r_max, TRR)
+                else:
+                    expected = sr_required_steps(lam * t,
+                                                 eps * lam * t / r_max,
+                                                 Measure.MRR)
+                assert sol.steps[i] == expected - 1, (
+                    f"{measure}: t={t} reports {sol.steps[i]} steps, "
+                    f"standalone count is {expected - 1}")
+
+    def test_sweep_shares_work_but_reports_standalone(self, two_state):
+        model, rewards, *_ = two_state
+        eps = 1e-10
+        sweep = StandardRandomizationSolver().solve(
+            model, rewards, TRR, [1.0, 100.0], eps)
+        alone = StandardRandomizationSolver().solve(
+            model, rewards, TRR, [1.0], eps)
+        # Same standalone count for the small horizon...
+        assert sweep.steps[0] == alone.steps[0]
+        # ...while the shared pass paid only for the largest horizon.
+        assert sweep.stats["shared_steps"] == sweep.steps[-1]
+        assert sweep.steps[-1] > sweep.steps[0]
+        # And the values are identical to the standalone solve.
+        assert sweep.values[0] == pytest.approx(alone.values[0], abs=eps)
+
+
 class TestEdgeCases:
     def test_zero_rewards_shortcut(self, two_state):
         model, _, *_ = two_state

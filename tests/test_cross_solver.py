@@ -1,0 +1,115 @@
+"""Cross-solver consistency: every registered transient solver must agree
+on every generated scenario.
+
+For each scenario from the parametric generator, RR, RRL, SR, RSD (on
+irreducible models), AU and ODE are run on the same ``(measure, t, ε)``
+grid. Methods with guaranteed error bounds (SR, RR, RRL, RSD, AU-on-TRR)
+must agree pairwise within their *combined* ε budgets; the unguaranteed
+comparators (ODE everywhere, AU's Simpson-integrated MRR) get a looser
+numerical tolerance. A disagreement here means a solver's truncation
+analysis — not just its speed — is broken, which is exactly the class of
+bug a refactor of the shared stepping kernel could introduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import get_solver
+from repro.batch.scenarios import build_scenario_model, generate_scenarios
+from repro.markov.rewards import Measure
+
+EPS = 1e-8
+
+#: Tolerance for methods with rigorous total-error guarantees: two methods
+#: each eps-accurate can differ by 2·eps; a small float fuzz rides along.
+GUARANTEED_TOL = 4.0 * EPS
+
+#: ODE (heuristic local error control) and AU's Simpson-integrated MRR.
+NUMERIC_TOL = 5e-6
+
+TRR_SCENARIOS = (
+    generate_scenarios(families=("raid5",), times=(1.0, 50.0), eps=EPS)[:2]
+    + generate_scenarios(families=("multiprocessor",),
+                         times=(1.0, 50.0), eps=EPS)[:2]
+    + generate_scenarios(families=("birth_death", "block"), seed=5,
+                         random_count=2, times=(0.5, 5.0), eps=EPS)
+)
+
+MRR_SCENARIOS = [
+    s.with_measure(Measure.MRR)
+    for s in (generate_scenarios(families=("birth_death",), seed=9,
+                                 random_count=1, times=(0.5, 5.0),
+                                 eps=EPS)
+              + generate_scenarios(families=("multiprocessor",),
+                                   times=(1.0, 20.0), eps=EPS)[:1]
+              + generate_scenarios(families=("block",), seed=3,
+                                   random_count=1, times=(0.5, 5.0),
+                                   eps=EPS))
+]
+
+
+def _methods_for(model, measure):
+    """(guaranteed methods, numeric-tolerance methods) for a scenario."""
+    guaranteed = ["SR", "RR", "RRL"]
+    numeric = ["ODE"]
+    if model.is_irreducible():
+        guaranteed.append("RSD")
+    if measure is Measure.TRR:
+        guaranteed.append("AU")
+    else:
+        numeric.append("AU")
+    return guaranteed, numeric
+
+
+def _solve_all(scenario):
+    model, rewards = build_scenario_model(scenario)
+    guaranteed, numeric = _methods_for(model, scenario.measure)
+    values = {}
+    for method in guaranteed + numeric:
+        sol = get_solver(method).solve(model, rewards, scenario.measure,
+                                       list(scenario.times), scenario.eps)
+        values[method] = np.asarray(sol.values)
+    return guaranteed, numeric, values
+
+
+@pytest.mark.parametrize("scenario", TRR_SCENARIOS,
+                         ids=lambda s: s.name)
+def test_trr_consistency(scenario):
+    guaranteed, numeric, values = _solve_all(scenario)
+    reference = values["RRL"]
+    for method in guaranteed:
+        assert values[method] == pytest.approx(reference,
+                                               abs=GUARANTEED_TOL), \
+            f"{method} disagrees with RRL on {scenario.name}"
+    for method in numeric:
+        assert values[method] == pytest.approx(reference,
+                                               abs=NUMERIC_TOL), \
+            f"{method} disagrees with RRL on {scenario.name}"
+
+
+@pytest.mark.parametrize("scenario", MRR_SCENARIOS,
+                         ids=lambda s: s.name)
+def test_mrr_consistency(scenario):
+    guaranteed, numeric, values = _solve_all(scenario)
+    reference = values["RRL"]
+    for method in guaranteed:
+        assert values[method] == pytest.approx(reference,
+                                               abs=GUARANTEED_TOL), \
+            f"{method} disagrees with RRL on {scenario.name}"
+    for method in numeric:
+        assert values[method] == pytest.approx(reference,
+                                               abs=NUMERIC_TOL), \
+            f"{method} disagrees with RRL on {scenario.name}"
+
+
+def test_multistep_agrees_on_trr():
+    """MS (TRR-only) rides the same kernel; check it against SR."""
+    scenario = generate_scenarios(families=("birth_death",), seed=13,
+                                  random_count=1, times=(0.5, 5.0),
+                                  eps=EPS)[0]
+    model, rewards = build_scenario_model(scenario)
+    ms = get_solver("MS").solve(model, rewards, Measure.TRR,
+                                list(scenario.times), scenario.eps)
+    sr = get_solver("SR").solve(model, rewards, Measure.TRR,
+                                list(scenario.times), scenario.eps)
+    assert ms.values == pytest.approx(sr.values, abs=GUARANTEED_TOL)
