@@ -1,11 +1,13 @@
-"""Batch engine — serial vs pooled execution of the benchmark grid.
+"""Batch engine — serial vs pooled execution, fused vs unfused planning.
 
-The acceptance bar for the batch subsystem: the pooled run must produce
+The acceptance bars for the batch subsystem: the pooled run must produce
 *identical* numbers to the inline run (the task decomposition never
-changes a value), and on multi-core hardware the wall-clock must drop.
-Speedup is only asserted when the machine actually has spare cores and
-the serial run is long enough for the comparison to be meaningful —
-pool startup costs a few hundred ms.
+changes a value), and on multi-core hardware the wall-clock must drop;
+the fusion planner must cut kernel constructions to one per (model,
+worker) and beat per-cell execution on a shared-model grid, again with
+bit-identical numbers. Pool speedup is only asserted when the machine
+actually has spare cores and the serial run is long enough for the
+comparison to be meaningful — pool startup costs a few hundred ms.
 
 Run:  pytest benchmarks/bench_batch.py --benchmark-only -q -s
 """
@@ -15,12 +17,25 @@ from __future__ import annotations
 import dataclasses
 import time
 
+import numpy as np
 import pytest
 
 from benchmarks.conftest import CONFIG
-from repro.batch.runner import BatchRunner, available_cpus as _cpus
-from repro.batch.scenarios import generate_scenarios, scenario_tasks
 from repro.analysis.experiments import run_grid
+from repro.analysis.runner import get_solver
+from repro.batch.kernel import kernel_build_count
+from repro.batch.planner import (
+    SolveRequest,
+    execute_requests,
+    worker_cache_clear,
+)
+from repro.batch.runner import BatchRunner, available_cpus as _cpus
+from repro.batch.scenarios import (
+    Scenario,
+    generate_scenarios,
+    scenario_tasks,
+)
+from repro.markov.rewards import Measure, RewardStructure
 
 #: Measure-only grid (timing figures excluded: timing cells measured on a
 #: contended pool would not be comparable anyway).
@@ -60,6 +75,81 @@ def test_grid_pooled_matches_serial(benchmark, serial_grid):
         assert pooled_seconds < serial_seconds, (
             f"pooled {pooled_seconds:.2f}s not faster than serial "
             f"{serial_seconds:.2f}s on a {_cpus()}-core machine")
+
+
+def _shared_model_requests(n_cells: int = 8) -> list[SolveRequest]:
+    """A scenario grid that is wide in cells but has ONE model: the shape
+    the fusion planner exists for. Cells vary rewards and eps."""
+    n = 3000
+    scenario = Scenario(name="bd-shared", family="birth_death",
+                       params={"n": n, "birth": 1.0, "death": 1.6},
+                       times=(100.0, 400.0), eps=1e-10)
+    rng = np.random.default_rng(17)
+    requests = []
+    for i in range(n_cells):
+        rewards = RewardStructure(rng.random(n))
+        requests.append(SolveRequest(
+            scenario=scenario, measure=Measure.TRR, times=scenario.times,
+            eps=scenario.eps * 10.0 ** -(i % 3), method="SR",
+            rewards=rewards, key=i))
+    return requests
+
+
+def test_shared_model_fused_vs_unfused(benchmark):
+    """The fusion acceptance case: on a shared-model SR grid the planner
+    must (a) build the kernel once per (model, worker) instead of once
+    per cell, (b) keep every number bit-identical, and (c) cut
+    wall-clock by sharing one stepping sweep across all cells."""
+    requests = _shared_model_requests()
+    inline = BatchRunner(max_workers=1)
+
+    # PR-1 shape: every cell builds its own kernel.
+    naive_sols = []
+    worker_cache_clear()
+    builds_before = kernel_build_count()
+    t0 = time.perf_counter()
+    for req in requests:
+        model, rewards = req.resolve()
+        naive_sols.append(get_solver(req.method).solve(
+            model, rewards, req.measure, list(req.times), req.eps))
+    naive_seconds = time.perf_counter() - t0
+    naive_builds = kernel_build_count() - builds_before
+    assert naive_builds == len(requests)
+
+    # Planned but unfused: the worker cache makes it one build total,
+    # but every cell still pays its own stepping sweep.
+    worker_cache_clear()
+    builds_before = kernel_build_count()
+    t0 = time.perf_counter()
+    unfused = execute_requests(requests, inline, fuse=False)
+    unfused_seconds = time.perf_counter() - t0
+    assert kernel_build_count() - builds_before == 1
+
+    # Fused: one build, one shared sweep.
+    worker_cache_clear()
+    builds_before = kernel_build_count()
+    t0 = time.perf_counter()
+    fused = benchmark.pedantic(
+        lambda: execute_requests(requests, inline, fuse=True),
+        rounds=1, iterations=1)
+    fused_seconds = time.perf_counter() - t0
+    assert kernel_build_count() - builds_before == 1
+
+    for a, b, solo in zip(fused, unfused, naive_sols):
+        assert a.ok and b.ok
+        assert np.array_equal(a.value.values, b.value.values)
+        assert np.array_equal(a.value.values, solo.values)
+    print(f"\nshared-model grid ({len(requests)} cells): "
+          f"naive {naive_seconds:.2f}s ({naive_builds} kernel builds), "
+          f"unfused {unfused_seconds:.2f}s (1 build), "
+          f"fused {fused_seconds:.2f}s (1 build)")
+    # The fused run does strictly less work (one matvec sweep instead of
+    # one per cell), so the comparison is meaningful even at sub-second
+    # scale; skip only when the whole grid is too fast to time at all.
+    if unfused_seconds > 0.05:
+        assert fused_seconds < unfused_seconds, (
+            f"fused {fused_seconds:.2f}s not faster than unfused "
+            f"{unfused_seconds:.2f}s on a shared-model grid")
 
 
 def test_scenario_sweep_pooled(benchmark):

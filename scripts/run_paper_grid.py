@@ -1,18 +1,21 @@
 #!/usr/bin/env python
-"""Run the paper's evaluation grid through the parallel BatchRunner.
+"""Run the paper's evaluation grid through the fused parallel batch stack.
 
-Default: the paper's exact grid (G ∈ {20, 40}, t up to 10⁵ h) fanned over
-a process pool. ``--quick`` switches to a seconds-scale smoke grid for CI;
-``--verify`` re-runs the measure columns serially and asserts the parallel
-results are identical (the batch decomposition must never change a
-number).
+Default: the paper's exact grid (G ∈ {20, 40}, t up to 10⁵ h) compiled by
+the fusion planner (duplicate solves coalesce, unfused cells share one
+kernel per worker) and fanned over a process pool. ``--quick`` switches
+to a seconds-scale smoke grid for CI; ``--no-fuse`` disables the planner
+(one task per cell, the PR-1 execution shape); ``--verify`` re-runs the
+measure columns unfused-pooled and serial and asserts all three
+executions produce bit-identical tables (neither the batch decomposition
+nor the fusion plan may ever change a number).
 
 Examples
 --------
-    python scripts/run_paper_grid.py                 # paper grid, pooled
+    python scripts/run_paper_grid.py                 # paper grid, fused+pooled
     python scripts/run_paper_grid.py --workers 8
     python scripts/run_paper_grid.py --quick --verify
-    python scripts/run_paper_grid.py --serial --json out.json
+    python scripts/run_paper_grid.py --no-fuse --serial --json out.json
 """
 
 from __future__ import annotations
@@ -43,25 +46,49 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     if args.quick:
         return ExperimentConfig(groups=(2, 3), times=(1.0, 10.0, 100.0),
                                 eps=1e-10, sr_step_budget=200_000,
-                                workers=workers)
-    return ExperimentConfig.paper(workers=workers)
+                                workers=workers, fuse=args.fuse)
+    return ExperimentConfig.paper(workers=workers, fuse=args.fuse)
 
 
-def verify_against_serial(config: ExperimentConfig,
-                          pooled: GridResult) -> None:
-    """Assert the pooled run matches a fresh serial run exactly."""
-    serial = run_grid(dataclasses.replace(config, workers=1),
-                      include_timings=False)
-    if serial.table1.columns != pooled.table1.columns:
-        raise AssertionError("Table 1 differs between serial and pooled run")
-    if serial.table2.columns != pooled.table2.columns:
-        raise AssertionError("Table 2 differs between serial and pooled run")
-    for g, vals in serial.ur_values.items():
-        pv = pooled.ur_values[g]
-        if any(abs(a - b) > config.eps for a, b in zip(vals, pv)):
-            raise AssertionError(f"UR values differ for G={g}")
-    print(f"verify: pooled ({config.workers} workers) == serial — OK",
-          flush=True)
+def _assert_grids_equal(reference: GridResult, other: GridResult,
+                        label: str) -> None:
+    """Bit-identical comparison of the measure columns of two runs."""
+    if other.table1.columns != reference.table1.columns:
+        raise AssertionError(f"Table 1 differs between {label} runs")
+    if other.table2.columns != reference.table2.columns:
+        raise AssertionError(f"Table 2 differs between {label} runs")
+    for g, vals in reference.ur_values.items():
+        if other.ur_values[g] != vals:
+            raise AssertionError(f"UR values differ for G={g} ({label})")
+
+
+def verify_executions(config: ExperimentConfig, result: GridResult) -> None:
+    """Assert fused == unfused == serial, bit for bit.
+
+    Alternate configurations equal to the main run (or to each other —
+    e.g. under ``--serial`` the "unfused" and "serial unfused" runs are
+    the same thing) are executed only once.
+    """
+    this = "fused" if config.fuse else "unfused"
+    this += " serial" if config.workers == 1 else " pooled"
+    candidates = [
+        (f"{this} vs unfused "
+         f"{'serial' if config.workers == 1 else 'pooled'}",
+         dataclasses.replace(config, fuse=False)),
+        (f"{this} vs serial unfused",
+         dataclasses.replace(config, workers=1, fuse=False)),
+    ]
+    ran: list[ExperimentConfig] = []
+    for label, alt_config in candidates:
+        if alt_config == config or alt_config in ran:
+            continue
+        ran.append(alt_config)
+        alt = run_grid(alt_config, include_timings=False)
+        _assert_grids_equal(result, alt, label)
+        print(f"verify: {label} — bit-identical, OK", flush=True)
+    if not ran:
+        print("verify: nothing to compare — the run is already serial "
+              "and unfused", flush=True)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,10 +100,17 @@ def main(argv: list[str] | None = None) -> int:
                              "at least 2)")
     parser.add_argument("--serial", action="store_true",
                         help="force inline execution (workers=1)")
+    parser.add_argument("--fuse", dest="fuse", action="store_true",
+                        default=True,
+                        help="compile cells through the fusion planner "
+                             "(default)")
+    parser.add_argument("--no-fuse", dest="fuse", action="store_false",
+                        help="one task per cell, no coalescing/fusion")
     parser.add_argument("--no-timings", action="store_true",
                         help="skip the Figure 3/4 timing sweeps")
     parser.add_argument("--verify", action="store_true",
-                        help="re-run measure columns serially and compare")
+                        help="re-run the measure columns unfused and "
+                             "serially; assert all runs are bit-identical")
     parser.add_argument("--json", metavar="PATH",
                         help="dump the full grid result as JSON")
     args = parser.parse_args(argv)
@@ -85,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
 
     config = make_config(args)
     mode = "serial" if config.workers == 1 else f"{config.workers} workers"
+    mode += ", fused" if config.fuse else ", unfused"
     print(f"== paper grid ({'quick' if args.quick else 'paper'} scale, "
           f"{mode}) ==", flush=True)
     if not args.no_timings and config.workers > 1:
@@ -102,15 +137,18 @@ def main(argv: list[str] | None = None) -> int:
     t0 = time.time()
     result = run_grid(config, include_timings=not args.no_timings)
     elapsed = time.time() - t0
+    if result.plan_summary:
+        print(f"== plan ==\n{result.plan_summary}", flush=True)
     print(result.render(), flush=True)
     print(f"\nTOTAL {elapsed:.1f}s ({mode})", flush=True)
 
     if args.verify:
-        verify_against_serial(config, result)
+        verify_executions(config, result)
     if args.json:
         payload = result.to_dict()
         payload["elapsed_seconds"] = elapsed
         payload["workers"] = config.workers
+        payload["fused"] = config.fuse
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}", flush=True)

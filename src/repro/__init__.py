@@ -31,7 +31,9 @@ Public API
   of small analytical chains).
 * Experiments: :mod:`repro.analysis` (the table/figure harness).
 * Batch: :mod:`repro.batch` (shared uniformization kernel, parametric
-  scenario generator, parallel :class:`BatchRunner`).
+  scenario generator, model-fused execution planner
+  (:class:`SolveRequest` → :func:`repro.batch.planner.execute_requests`),
+  parallel :class:`BatchRunner`).
 """
 
 from repro.exceptions import (
@@ -63,6 +65,7 @@ from repro.core import (
     RRLSolver,
 )
 from repro.batch.kernel import UniformizationKernel
+from repro.batch.planner import SolveRequest
 from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
 from repro.batch.scenarios import Scenario, generate_scenarios
 
@@ -83,5 +86,5 @@ __all__ = [
     "MultistepRandomizationSolver", "RRLBoundsSolver", "BoundedSolution",
     # batch subsystem
     "UniformizationKernel", "BatchRunner", "BatchTask", "BatchOutcome",
-    "Scenario", "generate_scenarios",
+    "Scenario", "generate_scenarios", "SolveRequest",
 ]

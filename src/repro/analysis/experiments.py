@@ -1,13 +1,23 @@
 """Harness regenerating every table and figure of the paper's evaluation.
 
-Every table/figure is decomposed into independent *column tasks* (one per
-``(G, method)`` pair) and executed through a
+Every table/figure is decomposed into independent *column* cells (one per
+``(G, method)`` pair). Solve-shaped columns (the RRL/RSD step columns and
+the UR value sweep) are declared as
+:class:`~repro.batch.planner.SolveRequest` cells and compiled by the
+fusion planner — duplicate solves coalesce (the Table 2 RRL column and
+the UR sweep are the *same* solve and run once) and unfused cells of a
+shared model reuse one kernel per worker; analytic columns (SR step
+counts need no solve) and the timing figures stay plain
+:class:`~repro.batch.runner.BatchTask` passthroughs, because a timed
+cell must pay its own standalone setup to mean what the paper's figures
+mean. Everything executes through one
 :class:`~repro.batch.runner.BatchRunner`, so the whole grid fans out over
 a process pool: ``ExperimentConfig(workers=4)`` or
 ``run_grid(config, runner=...)``. With ``workers=1`` (the default) the
-tasks run inline and the results are identical — the task decomposition
-never changes any number, only where it is computed. Timing columns are
-still measured per-cell *inside* a worker; on an oversubscribed pool the
+tasks run inline and the results are identical — neither the task
+decomposition nor the fusion plan ever changes any number
+(``fuse=False`` disables planning for A/B verification). Timing columns
+are measured per-cell *inside* a worker; on an oversubscribed pool the
 absolute seconds inflate, so timing sweeps prefer ``workers <=`` physical
 cores.
 
@@ -43,9 +53,11 @@ import numpy as np
 
 from repro.analysis.reporting import format_series, format_table
 from repro.analysis.runner import get_solver
+from repro.batch.planner import ExecutionPlan, SolveRequest, plan_requests
 from repro.batch.runner import BatchRunner, BatchTask
-from repro.core.rrl_solver import RRLSolver
+from repro.batch.scenarios import Scenario
 from repro.exceptions import TruncationError
+from repro.markov.base import TransientSolution
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
 from repro.markov.standard import sr_required_steps
@@ -120,16 +132,20 @@ class ExperimentConfig:
     """Process-pool size for the grid; 1 = inline (identical results)."""
     chunk_size: int = 1
     """Tasks per worker round-trip (see :class:`BatchRunner`)."""
+    fuse: bool = True
+    """Compile solve columns through the fusion planner (coalescing +
+    per-worker kernel cache); False plans one task per cell. Either way
+    the numbers are identical — this is an execution knob."""
 
     @classmethod
     def paper(cls, *, sr_step_budget: int = 10_000_000,
               rr_inner_budget: int = 10_000_000,
-              workers: int = 1) -> "ExperimentConfig":
+              workers: int = 1, fuse: bool = True) -> "ExperimentConfig":
         """The paper's exact grid (G ∈ {20,40}, t up to 10⁵ h)."""
         return cls(groups=PAPER_GROUPS, times=PAPER_TIMES,
                    sr_step_budget=sr_step_budget,
                    rr_inner_budget=rr_inner_budget,
-                   workers=workers)
+                   workers=workers, fuse=fuse)
 
     def runner(self) -> BatchRunner:
         """The :class:`BatchRunner` this configuration asks for."""
@@ -199,50 +215,98 @@ def _build(config: ExperimentConfig, g: int, kind: str
     return model, rewards
 
 
+def _raid5_scenario(config: ExperimentConfig, g: int, kind: str) -> Scenario:
+    """The grid cell's model as a planner-friendly scenario description.
+
+    Builds the *same* model as :func:`_build` (the scenario registry's
+    raid5 family constructs identical ``Raid5Params``), so requests for
+    one ``(G, kind)`` share a model fingerprint and can coalesce/fuse.
+    """
+    if kind not in ("UA", "UR"):
+        raise ValueError(f"unknown measure kind {kind!r}")
+    variant = "availability" if kind == "UA" else "reliability"
+    p = config.params_for(g)
+    return Scenario(name=f"grid-raid5-G{g}-{kind}", family="raid5",
+                    params={"groups": p.groups,
+                            "spare_disks": p.spare_disks,
+                            "spare_controllers": p.spare_controllers,
+                            "kind": variant},
+                    measure=Measure.TRR, times=config.times, eps=config.eps)
+
+
+def _execute_workload(config: ExperimentConfig,
+                      requests: list[SolveRequest],
+                      tasks: list[BatchTask],
+                      runner: BatchRunner | None
+                      ) -> tuple[list, ExecutionPlan]:
+    """Plan the solve requests, run them plus the passthrough tasks in
+    one :meth:`BatchRunner.run` fan-out, and return per-cell outcomes."""
+    plan = plan_requests(requests, fuse=config.fuse)
+    outcomes = (runner or config.runner()).run(plan.tasks + list(tasks))
+    scattered = plan.scatter(outcomes[:plan.n_tasks])
+    return scattered + outcomes[plan.n_tasks:], plan
+
+
 def _steps_column(config: ExperimentConfig, g: int, kind: str,
                   column: str) -> list[int]:
-    """One step-table column (module-level: pool workers pickle this).
+    """One analytic step-table column (module-level: pool-picklable).
 
-    RR and RRL share their step counts (the transformation phase is
-    identical); the RSD column is measured by running the detection loop;
-    the SR column is *computed* from the Poisson quantile (running SR is
-    not needed to know its step count).
+    Only the SR column comes through here: its step count is *computed*
+    from the Poisson quantile (running SR is not needed to know it). The
+    measured columns — RR/RRL (identical transformation phases) and
+    RSD's detection loop — are solve-shaped and flow through the planner
+    as :class:`SolveRequest` cells instead.
     """
+    if column != "SR":
+        raise ValueError(f"unknown analytic step column {column!r}")
     model, rewards = _build(config, g, kind)
-    if column == "RRL":
-        sol = RRLSolver().solve(model, rewards, Measure.TRR,
-                                list(config.times), config.eps)
-        return [int(s) for s in sol.steps]
-    if column == "RSD":
-        sol = get_solver("RSD").solve(model, rewards, Measure.TRR,
-                                      list(config.times), config.eps)
-        return [int(s) for s in sol.steps]
-    if column == "SR":
-        lam = model.max_output_rate
-        return [sr_required_steps(lam * t, config.eps / rewards.max_rate,
-                                  Measure.TRR) - 1
-                for t in config.times]
-    raise ValueError(f"unknown step column {column!r}")
+    lam = model.max_output_rate
+    return [sr_required_steps(lam * t, config.eps / rewards.max_rate,
+                              Measure.TRR) - 1
+            for t in config.times]
 
 
-def _steps_table_tasks(config: ExperimentConfig, kind: str
-                       ) -> list[BatchTask]:
+def _steps_table_workload(config: ExperimentConfig, kind: str
+                          ) -> tuple[list[SolveRequest], list[BatchTask]]:
+    """Solve requests (RRL/RSD columns) + passthrough tasks (analytic SR
+    column) for one step table."""
     comparator = "RSD" if kind == "UA" else "SR"
-    return [BatchTask(fn=_steps_column, args=(config, g, kind, column),
-                      key=("steps", kind, g, column))
-            for g in config.groups
-            for column in ("RRL", comparator)]
+    requests: list[SolveRequest] = []
+    tasks: list[BatchTask] = []
+    for g in config.groups:
+        for column in ("RRL", comparator):
+            key = ("steps", kind, g, column)
+            if column == "SR":
+                tasks.append(BatchTask(fn=_steps_column,
+                                       args=(config, g, kind, column),
+                                       key=key))
+            else:
+                requests.append(SolveRequest(
+                    scenario=_raid5_scenario(config, g, kind),
+                    measure=Measure.TRR, times=config.times,
+                    eps=config.eps, method=column, key=key))
+    return requests, tasks
 
 
 def _assemble_steps_table(config: ExperimentConfig, kind: str,
                           outcomes) -> StepTable:
     comparator = "RSD" if kind == "UA" else "SR"
-    columns: dict[str, list[int | None]] = {}
-    paper_cols: dict[str, list[int]] = {}
+    by_cell: dict[tuple, list[int | None]] = {}
     for out in outcomes:
         _, _, g, column = out.key
-        label = f"G={g} RR/RRL" if column == "RRL" else f"G={g} {column}"
-        columns[label] = out.unwrap()
+        value = out.unwrap()
+        if isinstance(value, TransientSolution):
+            value = [int(s) for s in value.steps]
+        by_cell[(g, column)] = value
+    # Canonical column order, independent of how the plan interleaved
+    # requests and passthrough tasks.
+    columns: dict[str, list[int | None]] = {}
+    paper_cols: dict[str, list[int]] = {}
+    for g in config.groups:
+        for column in ("RRL", comparator):
+            label = (f"G={g} RR/RRL" if column == "RRL"
+                     else f"G={g} {column}")
+            columns[label] = by_cell[(g, column)]
     for g in config.groups:
         paper = (PAPER_TABLE1 if kind == "UA" else PAPER_TABLE2).get(g)
         if paper is not None and config.times == PAPER_TIMES:
@@ -257,9 +321,9 @@ def _assemble_steps_table(config: ExperimentConfig, kind: str,
 def run_steps_table(config: ExperimentConfig, kind: str,
                     runner: BatchRunner | None = None) -> StepTable:
     """Reproduce a step table (Table 1 for ``kind='UA'``, Table 2 for
-    ``'UR'``) by fanning one task per ``(G, column)`` over ``runner``."""
-    tasks = _steps_table_tasks(config, kind)
-    outcomes = (runner or config.runner()).run(tasks)
+    ``'UR'``) by planning one cell per ``(G, column)`` over ``runner``."""
+    requests, tasks = _steps_table_workload(config, kind)
+    outcomes, _ = _execute_workload(config, requests, tasks, runner)
     return _assemble_steps_table(config, kind, outcomes)
 
 
@@ -366,17 +430,16 @@ def run_figure4(config: ExperimentConfig | None = None,
     return run_timing_table(config or ExperimentConfig(), "UR", runner)
 
 
-def _ur_column(config: ExperimentConfig, g: int) -> dict:
-    """RRL unreliability sweep for one model size (pool-picklable)."""
-    model, rewards = _build(config, g, "UR")
-    sol = RRLSolver().solve(model, rewards, Measure.TRR,
-                            list(config.times), config.eps)
-    return {"values": [float(v) for v in sol.values],
-            "abscissae": [int(a) for a in sol.stats["n_abscissae"]]}
+def _ur_requests(config: ExperimentConfig) -> list[SolveRequest]:
+    """RRL unreliability sweeps, one request per model size.
 
-
-def _ur_tasks(config: ExperimentConfig) -> list[BatchTask]:
-    return [BatchTask(fn=_ur_column, args=(config, g), key=("ur", g))
+    Identical in signature to the Table 2 RR/RRL step column's request,
+    so in a full grid the planner coalesces the two into a single RRL
+    solve per ``G``.
+    """
+    return [SolveRequest(scenario=_raid5_scenario(config, g, "UR"),
+                         measure=Measure.TRR, times=config.times,
+                         eps=config.eps, method="RRL", key=("ur", g))
             for g in config.groups]
 
 
@@ -385,9 +448,9 @@ def _assemble_ur(outcomes
     values: dict[int, list[float]] = {}
     abscissae: dict[int, list[int]] = {}
     for out in outcomes:
-        data = out.unwrap()
-        values[out.key[1]] = data["values"]
-        abscissae[out.key[1]] = data["abscissae"]
+        sol = out.unwrap()
+        values[out.key[1]] = [float(v) for v in sol.values]
+        abscissae[out.key[1]] = [int(a) for a in sol.stats["n_abscissae"]]
     return values, abscissae
 
 
@@ -396,7 +459,7 @@ def run_ur_values(config: ExperimentConfig | None = None,
                   ) -> tuple[dict[int, list[float]], dict[int, list[int]]]:
     """In-text UR(t) values and RRL abscissa counts, per model size."""
     config = config or ExperimentConfig()
-    outcomes = (runner or config.runner()).run(_ur_tasks(config))
+    outcomes, _ = _execute_workload(config, _ur_requests(config), [], runner)
     return _assemble_ur(outcomes)
 
 
@@ -410,6 +473,8 @@ class GridResult:
     ur_abscissae: dict[int, list[int]]
     figure3: TimingTable | None = None
     figure4: TimingTable | None = None
+    plan_summary: str | None = None
+    """One-line description of the execution plan the grid ran under."""
 
     def render(self) -> str:
         parts = [self.table1.render(), "", self.table2.render(), ""]
@@ -433,28 +498,34 @@ class GridResult:
                              for g, v in self.ur_abscissae.items()},
             "figure3": self.figure3.to_dict() if self.figure3 else None,
             "figure4": self.figure4.to_dict() if self.figure4 else None,
+            "plan_summary": self.plan_summary,
         }
 
 
 def run_grid(config: ExperimentConfig | None = None,
              runner: BatchRunner | None = None,
              include_timings: bool = True) -> GridResult:
-    """Run the full evaluation grid through one batch fan-out.
+    """Run the full evaluation grid through one planned batch fan-out.
 
-    Every column of Tables 1–2, the UR value sweep, and (optionally) every
-    series of Figures 3–4 becomes one task; a single
-    :meth:`BatchRunner.run` call executes them all, so a pool of ``k``
-    workers keeps ``k`` columns in flight at once.
+    Every column of Tables 1–2, the UR value sweep, and (optionally)
+    every series of Figures 3–4 becomes one cell. Solve cells are
+    compiled by the fusion planner first (with ``config.fuse``), so e.g.
+    the Table 2 RR/RRL column and the UR sweep coalesce into one solve
+    per ``G``; then a single :meth:`BatchRunner.run` call executes the
+    whole plan, keeping ``k`` workers' worth of columns in flight.
     """
     config = config or ExperimentConfig()
+    requests: list[SolveRequest] = []
     tasks: list[BatchTask] = []
-    tasks += _steps_table_tasks(config, "UA")
-    tasks += _steps_table_tasks(config, "UR")
-    tasks += _ur_tasks(config)
+    for kind in ("UA", "UR"):
+        kind_requests, kind_tasks = _steps_table_workload(config, kind)
+        requests += kind_requests
+        tasks += kind_tasks
+    requests += _ur_requests(config)
     if include_timings:
         tasks += _timing_table_tasks(config, "UA")
         tasks += _timing_table_tasks(config, "UR")
-    outcomes = (runner or config.runner()).run(tasks)
+    outcomes, plan = _execute_workload(config, requests, tasks, runner)
     by_kind: dict[str, list] = {}
     for out in outcomes:
         by_kind.setdefault((out.key[0], out.key[1]) if out.key[0] != "ur"
@@ -470,4 +541,4 @@ def run_grid(config: ExperimentConfig | None = None,
                                          by_kind[("timing", "UR")])
     return GridResult(table1=table1, table2=table2, ur_values=ur_values,
                       ur_abscissae=ur_abscissae, figure3=figure3,
-                      figure4=figure4)
+                      figure4=figure4, plan_summary=plan.summary())

@@ -68,7 +68,12 @@ def solve(model: CTMC,
     solver_kwargs:
         Forwarded to the solver constructor (e.g. ``regenerative=...``).
     """
-    if np.isscalar(times):
-        times = [float(times)]  # type: ignore[list-item]
+    # np.ndim handles every scalar spelling uniformly — python floats,
+    # np.float64 *and* 0-d arrays (np.isscalar(np.array(1.0)) is False,
+    # np.isscalar(np.float64(1.0)) is True: not a robust test).
+    if np.ndim(times) == 0:
+        times = [float(times)]  # type: ignore[arg-type]
+    elif len(times) == 0:
+        raise ValueError("times must contain at least one time point")
     solver = get_solver(method, **solver_kwargs)
     return solver.solve(model, rewards, measure, times, eps)

@@ -1,7 +1,7 @@
-"""Batch execution subsystem: shared stepping kernel, scenario generator
-and parallel experiment runner.
+"""Batch execution subsystem: shared stepping kernel, scenario generator,
+fusion planner and parallel experiment runner.
 
-Three layers, each usable on its own:
+Four layers, each usable on its own:
 
 * :mod:`repro.batch.kernel` — the shared uniformized-stepping kernel every
   randomization solver routes its DTMC matrix–vector work through, plus a
@@ -9,6 +9,10 @@ Three layers, each usable on its own:
 * :mod:`repro.batch.scenarios` — a parametric scenario generator producing
   picklable ``(model family, measure, ε, t)`` grid cells far beyond the
   paper's two models;
+* :mod:`repro.batch.planner` — the model-fused execution planner turning
+  declarative :class:`~repro.batch.planner.SolveRequest` cells into
+  coalesced, model-grouped, stack-fused batch tasks with a per-worker
+  kernel cache;
 * :mod:`repro.batch.runner` — a :class:`~repro.batch.runner.BatchRunner`
   fanning tasks over a ``concurrent.futures`` process pool with chunking,
   per-task timeouts, structured failure capture and deterministic result
@@ -26,9 +30,11 @@ from typing import Any
 
 __all__ = [
     "UniformizationKernel",
+    "ensure_model_kernel",
     "shared_fox_glynn",
     "fox_glynn_cache_info",
     "fox_glynn_cache_clear",
+    "kernel_build_count",
     "BatchRunner",
     "BatchTask",
     "BatchOutcome",
@@ -37,13 +43,22 @@ __all__ = [
     "scenario_families",
     "solve_scenario",
     "scenario_tasks",
+    "scenario_requests",
+    "solve_scenarios",
+    "SolveRequest",
+    "ExecutionPlan",
+    "plan_requests",
+    "execute_requests",
+    "solve_requests",
 ]
 
 _EXPORTS = {
     "UniformizationKernel": "repro.batch.kernel",
+    "ensure_model_kernel": "repro.batch.kernel",
     "shared_fox_glynn": "repro.batch.kernel",
     "fox_glynn_cache_info": "repro.batch.kernel",
     "fox_glynn_cache_clear": "repro.batch.kernel",
+    "kernel_build_count": "repro.batch.kernel",
     "BatchRunner": "repro.batch.runner",
     "BatchTask": "repro.batch.runner",
     "BatchOutcome": "repro.batch.runner",
@@ -52,6 +67,13 @@ _EXPORTS = {
     "scenario_families": "repro.batch.scenarios",
     "solve_scenario": "repro.batch.scenarios",
     "scenario_tasks": "repro.batch.scenarios",
+    "scenario_requests": "repro.batch.scenarios",
+    "solve_scenarios": "repro.batch.scenarios",
+    "SolveRequest": "repro.batch.planner",
+    "ExecutionPlan": "repro.batch.planner",
+    "plan_requests": "repro.batch.planner",
+    "execute_requests": "repro.batch.planner",
+    "solve_requests": "repro.batch.planner",
 }
 
 

@@ -48,10 +48,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 __all__ = [
     "UniformizationKernel",
+    "ensure_model_kernel",
     "shared_fox_glynn",
     "fox_glynn_cache_info",
     "fox_glynn_cache_clear",
+    "kernel_build_count",
 ]
+
+#: Process-wide count of kernel constructions. The fusion planner's whole
+#: point is that a grid over one model builds the CSR once per (model,
+#: worker); the benchmark asserts that by diffing this counter.
+_BUILD_COUNT = 0
+
+
+def kernel_build_count() -> int:
+    """How many :class:`UniformizationKernel` objects this process built."""
+    return _BUILD_COUNT
 
 #: Distinct (Λt, ε) windows kept alive; a paper-style grid touches a few
 #: dozen, so 512 keeps every realistic sweep fully cached while bounding
@@ -109,6 +121,8 @@ class UniformizationKernel:
                  transition: sparse.spmatrix | np.ndarray | None,
                  rate: float | None = None,
                  generator: sparse.spmatrix | None = None) -> None:
+        global _BUILD_COUNT
+        _BUILD_COUNT += 1
         if transition is None and generator is None:
             raise ModelError("need a transition matrix or a generator")
         self._pt: sparse.csr_matrix | None = None
@@ -132,6 +146,7 @@ class UniformizationKernel:
         self._rate = float(rate) if rate is not None else None
         self._n = int(n)  # type: ignore[arg-type]
         self._steps = 0
+        self._dtmc: "DTMC | None" = None
 
     # -- constructors ------------------------------------------------------
 
@@ -143,10 +158,14 @@ class UniformizationKernel:
 
         Returns ``(kernel, dtmc, Λ)`` — the solvers also need the
         randomized chain's initial distribution and the realized rate.
+        The kernel keeps a reference to the randomized chain (see
+        :attr:`dtmc`), so a cached kernel can be handed to any solver
+        without re-uniformizing the model.
         """
         dtmc, lam = model.uniformize(rate, slack)
         kernel = cls(dtmc.transition_matrix, rate=lam,
                      generator=model.generator)
+        kernel._dtmc = dtmc
         return kernel, dtmc, lam
 
     @classmethod
@@ -181,6 +200,21 @@ class UniformizationKernel:
     def steps_done(self) -> int:
         """Matrix–vector/matrix products performed through this kernel."""
         return self._steps
+
+    @property
+    def has_generator(self) -> bool:
+        """Whether ``Q`` is available (required by :meth:`step_rate`)."""
+        return self._qt is not None
+
+    @property
+    def dtmc(self) -> "DTMC | None":
+        """The randomized chain this kernel was built from, when known.
+
+        Set by :meth:`from_model`; ``None`` for kernels wrapped around a
+        bare matrix. Solvers accepting an injected kernel need the chain
+        for its initial distribution (and MS for its row-form ``P``).
+        """
+        return self._dtmc
 
     # -- stepping ----------------------------------------------------------
 
@@ -229,7 +263,9 @@ class UniformizationKernel:
         if n_max < 1:
             raise ValueError("n_max must be >= 1")
         pi = np.asarray(initial, dtype=np.float64)
-        r = np.asarray(rewards, dtype=np.float64)
+        # Contiguous rewards: the dot below must round identically whether
+        # r arrived as a flat vector or as a column sliced off a stack.
+        r = np.ascontiguousarray(rewards, dtype=np.float64)
         if pi.shape[0] != self._n or r.shape != (self._n,):
             raise ModelError("initial/rewards shape does not match kernel")
         out = np.empty((n_max,) + pi.shape[1:], dtype=np.float64)
@@ -248,6 +284,39 @@ class UniformizationKernel:
                 pi = self.step(pi)
         return out
 
+    def reward_sequences(self,
+                         initial: np.ndarray,
+                         rewards: np.ndarray,
+                         n_max: int) -> np.ndarray:
+        """Fused sequences ``d_n^{(j)} = (π P^n) r_j`` for a reward *stack*.
+
+        The dual of :meth:`reward_sequence`'s initial-stack support: one
+        shared initial distribution ``(n,)`` is stepped exactly as in the
+        single-reward path — one matvec per step no matter how many reward
+        vectors ``rewards[:, j]`` ride along — and each step is contracted
+        with every reward column. Column ``j`` of the ``(n_max, k)`` result
+        is bit-for-bit identical to
+        ``reward_sequence(initial, rewards[:, j], n_max)``: the stepping
+        sequence is the same object and every contraction is the same
+        contiguous dot, so fusing cells never changes a solver's numerics.
+        """
+        if n_max < 1:
+            raise ValueError("n_max must be >= 1")
+        pi = np.asarray(initial, dtype=np.float64)
+        rs = np.asarray(rewards, dtype=np.float64)
+        if pi.ndim != 1 or pi.shape[0] != self._n:
+            raise ModelError("initial must be one (n_states,) vector")
+        if rs.ndim != 2 or rs.shape[0] != self._n:
+            raise ModelError("rewards must be an (n_states, k) stack")
+        cols = [np.ascontiguousarray(rs[:, j]) for j in range(rs.shape[1])]
+        out = np.empty((n_max, len(cols)), dtype=np.float64)
+        for n in range(n_max):
+            for j, r in enumerate(cols):
+                out[n, j] = r @ pi
+            if n + 1 < n_max:
+                pi = self.step(pi)
+        return out
+
     def window(self, t: float, eps: float) -> FoxGlynnWindow:
         """Cached Fox–Glynn window for ``(Λ·t, eps)``."""
         if self._rate is None:
@@ -257,3 +326,54 @@ class UniformizationKernel:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"UniformizationKernel(n_states={self._n}, "
                 f"rate={self._rate}, steps_done={self._steps})")
+
+
+def ensure_model_kernel(model: "CTMC",
+                        kernel: UniformizationKernel | None,
+                        rate: float | None = None
+                        ) -> tuple[UniformizationKernel, "DTMC", float]:
+    """Validate an injected kernel against ``(model, rate)`` or build one.
+
+    The common preamble of every solver that accepts a pre-built kernel:
+    with ``kernel=None`` it is exactly ``UniformizationKernel.from_model``;
+    otherwise the injected kernel must have been produced by
+    ``from_model`` **for this model**, at the requested randomization
+    rate if the solver pinned one. Since ``from_model`` is deterministic,
+    a kernel built once (by the planner or a worker cache) and injected
+    everywhere yields bit-identical results to per-solve construction.
+
+    Validation is sanity-level, not cryptographic: state-space size, a
+    rate lower bound and the initial distribution are checked (catching
+    kernels built from a genuinely different model), but matrix contents
+    are not re-hashed — callers sharing kernels across cells are expected
+    to key them on a real model fingerprint, as the planner's worker
+    cache does.
+    """
+    if kernel is None:
+        return UniformizationKernel.from_model(model, rate)
+    dtmc = kernel.dtmc
+    if dtmc is None or kernel.rate is None:
+        raise ModelError(
+            "injected kernel must come from UniformizationKernel.from_model "
+            "(it carries no randomized chain)")
+    if kernel.n_states != model.n_states:
+        raise ModelError(
+            f"injected kernel has {kernel.n_states} states, "
+            f"model has {model.n_states}")
+    if rate is not None and not np.isclose(kernel.rate, rate,
+                                           rtol=1e-12, atol=0.0):
+        raise ModelError(
+            f"injected kernel rate {kernel.rate} != requested rate {rate}")
+    if kernel.rate < model.max_output_rate * (1.0 - 1e-12):
+        raise ModelError(
+            f"injected kernel rate {kernel.rate} is below the model's "
+            f"max output rate {model.max_output_rate} — built from a "
+            "different model?")
+    # Tight-but-tolerant: uniformization renormalizes the initial vector,
+    # which may perturb the last ulp relative to model.initial.
+    if not np.allclose(dtmc.initial, model.initial, rtol=1e-12,
+                       atol=1e-15):
+        raise ModelError(
+            "injected kernel was built from a model with a different "
+            "initial distribution")
+    return kernel, dtmc, float(kernel.rate)

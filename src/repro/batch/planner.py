@@ -1,0 +1,500 @@
+"""Model-fused execution planner.
+
+The scaling observation behind this layer: a scenario grid is usually
+*wide in cells but narrow in models* — one model evaluated under many
+``(rewards, measure, t, ε, method)`` combinations. Executed naively, every
+cell re-uniformizes the model, rebuilds the CSR transpose and re-steps its
+own ``d_n`` sweep; the per-model work is paid once per *cell* instead of
+once per *model*. The planner turns declarative :class:`SolveRequest`
+cells into model-grouped work:
+
+1. **coalescing** — requests that are exactly identical (same model,
+   rewards, method, measure, times, ε, solver options) are solved once
+   and the solution is fanned out to every requester;
+2. **fusion** — cells sharing ``(model, method)`` for the stack-friendly
+   methods (``SR``, ``RSD``) are merged into one fused task that builds
+   one kernel and performs one stepping sweep for the whole group
+   (``solve_fused`` on the solver — bit-for-bit identical per cell, a
+   guarantee inherited from the kernel's column-wise stepping identity);
+3. **per-worker kernel caching** — cells that stay unfused (different
+   methods, or fusion disabled) still share one built model + kernel per
+   worker process through a small LRU keyed on the model fingerprint.
+
+The planner emits ordinary :class:`~repro.batch.runner.BatchTask` objects,
+so fusion composes with :class:`~repro.batch.runner.BatchRunner` pool
+fan-out unchanged: a fused group is simply one (bigger) task. Requests are
+picklable — scenario-backed requests ship only the scenario description;
+model-backed requests ship the CSR once per task.
+
+``SolveRequest`` is deliberately transport-shaped (plain data + a registry
+method tag): it is the unit of work a future sharded job-queue service
+would put on the wire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Any
+
+import numpy as np
+
+from repro.batch.kernel import UniformizationKernel
+from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
+from repro.batch.scenarios import Scenario
+from repro.exceptions import ModelError
+from repro.markov.base import SolveCell, TransientSolution
+from repro.markov.ctmc import CTMC
+from repro.markov.rewards import Measure, RewardStructure
+
+__all__ = [
+    "SolveRequest",
+    "ExecutionPlan",
+    "FUSABLE_METHODS",
+    "KERNEL_AWARE_METHODS",
+    "plan_requests",
+    "execute_requests",
+    "solve_requests",
+    "run_request",
+    "run_fused_group",
+    "worker_cache_clear",
+    "worker_cache_info",
+]
+
+#: Methods whose solver implements ``solve_fused`` (one shared stepping
+#: sweep serves many cells). RR/RRL solve a *transformed* model per time
+#: point and AU re-randomizes per step, so for them sharing stops at the
+#: kernel/model cache.
+FUSABLE_METHODS = frozenset({"SR", "RSD"})
+
+#: Methods whose ``solve`` accepts an injected pre-built kernel.
+KERNEL_AWARE_METHODS = frozenset({"SR", "RSD", "AU", "MS", "RR", "RRL"})
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One declarative solve cell: *what* to compute, never *how*.
+
+    The model is referenced either descriptively (``scenario`` — rebuilt
+    worker-side, the cheap-to-pickle path) or directly (``model`` +
+    ``rewards``). ``rewards=None`` with a scenario means "the scenario's
+    own reward structure".
+
+    Parameters
+    ----------
+    measure, times, eps, method:
+        As for :func:`repro.analysis.runner.solve`; ``times`` is
+        normalized to a tuple of floats, ``method`` to upper case.
+    scenario:
+        A :class:`~repro.batch.scenarios.Scenario` describing the model
+        (mutually exclusive with ``model``).
+    model, rewards:
+        A live model; ``rewards`` is then required.
+    solver_kwargs:
+        Forwarded to the solver constructor. A custom ``rate`` disables
+        kernel sharing for this request (the cached kernel is built at
+        the model's default randomization rate).
+    key:
+        Caller identity attached to the request's
+        :class:`~repro.batch.runner.BatchOutcome`.
+    """
+
+    measure: Measure
+    times: tuple[float, ...]
+    eps: float = 1e-12
+    method: str = "RRL"
+    scenario: Scenario | None = None
+    model: CTMC | None = None
+    rewards: RewardStructure | None = None
+    solver_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    key: Any = None
+
+    def __post_init__(self) -> None:
+        if (self.scenario is None) == (self.model is None):
+            raise ModelError(
+                "SolveRequest needs exactly one of scenario= or model=")
+        if self.model is not None and self.rewards is None:
+            raise ModelError("model-backed SolveRequest needs rewards=")
+        object.__setattr__(self, "times",
+                           tuple(float(t) for t in np.atleast_1d(
+                               np.asarray(self.times, dtype=np.float64))))
+        object.__setattr__(self, "method", str(self.method).upper())
+        object.__setattr__(self, "solver_kwargs", dict(self.solver_kwargs))
+
+    def __hash__(self) -> int:
+        # The dataclass-generated hash would hash solver_kwargs (a dict)
+        # and raise; requests are transport-shaped data and must be usable
+        # as set/dict members, so hash a stable hashable subset of the
+        # identity — collisions are resolved through the field-wise
+        # ``__eq__``.
+        return hash((self.method, self.measure, self.times,
+                     float(self.eps)))
+
+    def resolve(self) -> tuple[CTMC, RewardStructure]:
+        """Materialize ``(model, rewards)`` (worker-side for scenarios)."""
+        if self.scenario is not None:
+            model, default_rewards = self.scenario.build()
+            rewards = self.rewards if self.rewards is not None \
+                else default_rewards
+            return model, rewards
+        return self.model, self.rewards  # type: ignore[return-value]
+
+
+# -- fingerprints ----------------------------------------------------------
+
+def _freeze(value: Any) -> Any:
+    """Deterministic hashable form of a plain-data parameter value."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+#: Memoized digests — planning consults the fingerprint several times per
+#: request (signature + fusion key) and execution once more; hashing a
+#: large CSR repeatedly would tax exactly the path the planner speeds up.
+#: CTMCs are immutable in practice, so the content digest is stable.
+_ctmc_digests: "weakref.WeakKeyDictionary[CTMC, str]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _ctmc_digest(model: CTMC) -> str:
+    """Content hash of a live model (generator structure + initial)."""
+    digest = _ctmc_digests.get(model)
+    if digest is None:
+        q = model.generator
+        h = hashlib.sha1()
+        h.update(np.int64(model.n_states).tobytes())
+        h.update(np.ascontiguousarray(q.indptr).tobytes())
+        h.update(np.ascontiguousarray(q.indices).tobytes())
+        h.update(np.ascontiguousarray(q.data).tobytes())
+        h.update(np.ascontiguousarray(model.initial).tobytes())
+        digest = h.hexdigest()
+        _ctmc_digests[model] = digest
+    return digest
+
+
+def model_fingerprint(request: SolveRequest) -> tuple:
+    """Identity of the *model* a request runs against.
+
+    Scenario-backed requests fingerprint the (deterministic) scenario
+    description; model-backed requests fingerprint the matrix content.
+    Two requests with equal fingerprints are guaranteed to rebuild
+    bit-identical models, which is what makes cross-cell sharing safe.
+    """
+    if request.scenario is not None:
+        s = request.scenario
+        return ("scenario", s.family, _freeze(s.params))
+    return ("ctmc", _ctmc_digest(request.model))  # type: ignore[arg-type]
+
+
+def _rewards_fingerprint(request: SolveRequest) -> tuple:
+    if request.rewards is None:
+        return ("scenario-default",)
+    return ("rewards",
+            hashlib.sha1(np.ascontiguousarray(
+                request.rewards.rates).tobytes()).hexdigest())
+
+
+def _signature(request: SolveRequest) -> tuple:
+    """Full identity: requests with equal signatures coalesce."""
+    return (model_fingerprint(request), _rewards_fingerprint(request),
+            request.method, request.measure, request.times,
+            float(request.eps), _freeze(request.solver_kwargs))
+
+
+def _fusion_key(request: SolveRequest) -> tuple:
+    """Cells with equal fusion keys may share one stepping sweep."""
+    return (model_fingerprint(request), request.method,
+            _freeze(request.solver_kwargs))
+
+
+# -- per-worker model/kernel cache -----------------------------------------
+
+#: Models (and their kernels) a worker process keeps warm. A paper-style
+#: grid touches a handful of models; 8 covers every in-tree sweep while
+#: bounding a long-lived worker's memory.
+_WORKER_CACHE_SIZE = 8
+
+#: fingerprint -> [model, scenario_default_rewards | None, kernel | None]
+_worker_cache: "OrderedDict[tuple, list]" = OrderedDict()
+_worker_cache_hits = 0
+_worker_cache_misses = 0
+
+
+def worker_cache_clear() -> None:
+    """Drop this process's model/kernel cache (tests, worker hygiene)."""
+    global _worker_cache_hits, _worker_cache_misses
+    _worker_cache.clear()
+    _worker_cache_hits = 0
+    _worker_cache_misses = 0
+
+
+def worker_cache_info() -> dict[str, int]:
+    """Hit/miss/size statistics of this process's model/kernel cache."""
+    return {"hits": _worker_cache_hits, "misses": _worker_cache_misses,
+            "size": len(_worker_cache), "max_size": _WORKER_CACHE_SIZE}
+
+
+def _cache_entry(request: SolveRequest) -> list:
+    global _worker_cache_hits, _worker_cache_misses
+    fp = model_fingerprint(request)
+    entry = _worker_cache.get(fp)
+    if entry is not None:
+        _worker_cache_hits += 1
+        _worker_cache.move_to_end(fp)
+        return entry
+    _worker_cache_misses += 1
+    if request.scenario is not None:
+        model, default_rewards = request.scenario.build()
+    else:
+        model, default_rewards = request.model, None
+    entry = [model, default_rewards, None]
+    _worker_cache[fp] = entry
+    while len(_worker_cache) > _WORKER_CACHE_SIZE:
+        _worker_cache.popitem(last=False)
+    return entry
+
+
+def _resolve_cached(request: SolveRequest
+                    ) -> tuple[CTMC, RewardStructure,
+                               UniformizationKernel | None]:
+    """Model, rewards and (when shareable) the cached default-rate kernel."""
+    entry = _cache_entry(request)
+    model = entry[0]
+    rewards = request.rewards if request.rewards is not None else entry[1]
+    if rewards is None:
+        raise ModelError("request resolves to no reward structure")
+    kernel: UniformizationKernel | None = None
+    if (request.method in KERNEL_AWARE_METHODS
+            and "rate" not in request.solver_kwargs):
+        if entry[2] is None:
+            entry[2] = UniformizationKernel.from_model(model)[0]
+        kernel = entry[2]
+    return model, rewards, kernel
+
+
+# -- worker entry points ---------------------------------------------------
+
+def run_request(request: SolveRequest) -> TransientSolution:
+    """Execute one unfused request (picklable worker entry point).
+
+    Builds — or fetches from this worker's cache — the model and its
+    kernel, then runs the ordinary solver. Bit-identical to
+    ``get_solver(method).solve(model, rewards, ...)``.
+    """
+    from repro.analysis.runner import get_solver
+
+    model, rewards, kernel = _resolve_cached(request)
+    solver = get_solver(request.method, **dict(request.solver_kwargs))
+    if kernel is not None:
+        return solver.solve(model, rewards, request.measure,
+                            list(request.times), request.eps, kernel=kernel)
+    return solver.solve(model, rewards, request.measure,
+                        list(request.times), request.eps)
+
+
+def _cell_for(request: SolveRequest, rewards: RewardStructure) -> SolveCell:
+    return SolveCell(rewards=rewards, measure=request.measure,
+                     times=request.times, eps=request.eps)
+
+
+def run_fused_group(requests: tuple[SolveRequest, ...]) -> list[dict]:
+    """Execute a fused group (picklable worker entry point).
+
+    All requests share ``(model fingerprint, method, solver_kwargs)``.
+    Returns one ``{"ok": ..., ...}`` record per request so a single
+    failing cell cannot poison the group: if the fused pass raises (e.g.
+    one cell exceeds the solver's step budget), every cell is retried
+    standalone and failures stay per-cell — exactly the unfused
+    semantics, at the unfused price for that group only.
+    """
+    from repro.analysis.runner import get_solver
+
+    requests = tuple(requests)
+    first = requests[0]
+    solver = get_solver(first.method, **dict(first.solver_kwargs))
+    try:
+        model, _, kernel = _resolve_cached(first)
+        cells = []
+        for req in requests:
+            _, rewards, _ = _resolve_cached(req)
+            cells.append(_cell_for(req, rewards))
+        solutions = solver.solve_fused(model, cells, kernel=kernel)
+        return [{"ok": True, "value": sol} for sol in solutions]
+    except Exception:
+        # Per-cell fallback: identical failure isolation to unfused runs.
+        import traceback as _traceback
+
+        records: list[dict] = []
+        for req in requests:
+            try:
+                records.append({"ok": True, "value": run_request(req)})
+            except Exception as exc:
+                records.append({"ok": False,
+                                "error_type": type(exc).__name__,
+                                "error": str(exc),
+                                "traceback": _traceback.format_exc()})
+        return records
+
+
+# -- planning --------------------------------------------------------------
+
+@dataclass
+class ExecutionPlan:
+    """A batch of requests compiled into model-grouped tasks.
+
+    ``assignments[i]`` maps task ``i``'s result *slots* back onto request
+    indices: fused tasks produce one slot per distinct cell, single tasks
+    one slot total; a slot serves several requests when duplicates were
+    coalesced. :meth:`scatter` inverts the mapping, so callers always see
+    one outcome per request in submission order, however the work was
+    fused.
+    """
+
+    requests: list[SolveRequest]
+    tasks: list[BatchTask]
+    assignments: list[list[list[int]]]
+    fused: list[bool]
+    coalesced: int
+    fuse_enabled: bool
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def fused_tasks(self) -> int:
+        """Number of multi-cell fused tasks in the plan."""
+        return sum(1 for f in self.fused if f)
+
+    @property
+    def fused_cells(self) -> int:
+        """Number of distinct cells riding inside fused tasks."""
+        return sum(len(slots) for slots, f in zip(self.assignments,
+                                                  self.fused) if f)
+
+    def summary(self) -> str:
+        """One-line human description (scripts print this)."""
+        return (f"{self.n_requests} requests -> {self.n_tasks} tasks "
+                f"({self.fused_tasks} fused covering {self.fused_cells} "
+                f"cells, {self.coalesced} coalesced; "
+                f"fusion {'on' if self.fuse_enabled else 'off'})")
+
+    def scatter(self, outcomes: list[BatchOutcome]) -> list[BatchOutcome]:
+        """Per-request outcomes (request order) from per-task outcomes."""
+        if len(outcomes) != len(self.tasks):
+            raise ValueError(
+                f"plan has {len(self.tasks)} tasks, got "
+                f"{len(outcomes)} outcomes")
+        result: list[BatchOutcome | None] = [None] * len(self.requests)
+        for outcome, slots, fused in zip(outcomes, self.assignments,
+                                         self.fused):
+            if fused and outcome.ok:
+                records = outcome.value
+                for slot, record in zip(slots, records):
+                    for idx in slot:
+                        result[idx] = BatchOutcome(
+                            key=self.requests[idx].key,
+                            ok=bool(record["ok"]),
+                            value=record.get("value"),
+                            error_type=record.get("error_type"),
+                            error=record.get("error"),
+                            traceback=record.get("traceback"),
+                            duration=outcome.duration,
+                            worker_pid=outcome.worker_pid)
+            else:
+                for slot in slots:
+                    for idx in slot:
+                        result[idx] = _dc_replace(
+                            outcome, key=self.requests[idx].key)
+        return result  # type: ignore[return-value]
+
+
+def plan_requests(requests: Iterable[SolveRequest],
+                  *,
+                  fuse: bool = True) -> ExecutionPlan:
+    """Compile requests into coalesced, model-fused batch tasks.
+
+    With ``fuse=False`` the plan is the identity mapping — one task per
+    request — which still benefits from the per-worker kernel cache and
+    serves as the comparison baseline for ``--verify``-style checks.
+    """
+    requests = list(requests)
+    if not fuse:
+        tasks = [BatchTask(fn=run_request, args=(req,), key=req.key)
+                 for req in requests]
+        return ExecutionPlan(requests=requests, tasks=tasks,
+                             assignments=[[[i]] for i in range(len(requests))],
+                             fused=[False] * len(requests),
+                             coalesced=0, fuse_enabled=False)
+
+    # 1. Coalesce exact duplicates: one representative per signature.
+    by_signature: "OrderedDict[tuple, list[int]]" = OrderedDict()
+    for i, req in enumerate(requests):
+        by_signature.setdefault(_signature(req), []).append(i)
+    coalesced = len(requests) - len(by_signature)
+
+    # 2. Group representatives of fusable methods by (model, method).
+    groups: "OrderedDict[tuple, list[list[int]]]" = OrderedDict()
+    for slot in by_signature.values():
+        rep = requests[slot[0]]
+        if rep.method in FUSABLE_METHODS:
+            gkey = ("fuse",) + _fusion_key(rep)
+        else:
+            gkey = ("single", len(groups))
+        groups.setdefault(gkey, []).append(slot)
+
+    tasks: list[BatchTask] = []
+    assignments: list[list[list[int]]] = []
+    fused_flags: list[bool] = []
+    for gkey, slots in groups.items():
+        reps = [requests[slot[0]] for slot in slots]
+        if gkey[0] == "fuse" and len(reps) >= 2:
+            # weight: the group does N cells' worth of work in one task,
+            # so BatchRunner timeout budgets must scale accordingly.
+            tasks.append(BatchTask(fn=run_fused_group, args=(tuple(reps),),
+                                   key=("fused", reps[0].method,
+                                        tuple(r.key for r in reps)),
+                                   weight=len(reps)))
+            assignments.append(slots)
+            fused_flags.append(True)
+        else:
+            for slot in slots:
+                rep = requests[slot[0]]
+                tasks.append(BatchTask(fn=run_request, args=(rep,),
+                                       key=rep.key))
+                assignments.append([slot])
+                fused_flags.append(False)
+    return ExecutionPlan(requests=requests, tasks=tasks,
+                         assignments=assignments, fused=fused_flags,
+                         coalesced=coalesced, fuse_enabled=True)
+
+
+def execute_requests(requests: Iterable[SolveRequest],
+                     runner: BatchRunner | None = None,
+                     *,
+                     fuse: bool = True) -> list[BatchOutcome]:
+    """Plan and execute requests; one outcome per request, in order."""
+    plan = plan_requests(requests, fuse=fuse)
+    outcomes = (runner or BatchRunner(max_workers=1)).run(plan.tasks)
+    return plan.scatter(outcomes)
+
+
+def solve_requests(requests: Iterable[SolveRequest],
+                   runner: BatchRunner | None = None,
+                   *,
+                   fuse: bool = True) -> list[TransientSolution]:
+    """Like :func:`execute_requests` but unwrapping to solutions
+    (raising :class:`~repro.batch.runner.BatchExecutionError` on the
+    first failed request)."""
+    return [o.unwrap() for o in execute_requests(requests, runner,
+                                                 fuse=fuse)]

@@ -58,6 +58,10 @@ class BatchTask:
     args: tuple = ()
     kwargs: dict[str, Any] = field(default_factory=dict)
     key: Any = None
+    weight: int = 1
+    """Logical cells this task covers. A fused task doing the work of
+    ``N`` cells sets ``weight=N`` so per-task timeout budgets scale with
+    the work actually submitted, not the task count."""
 
 
 @dataclass
@@ -123,8 +127,18 @@ class BatchRunner:
         values amortize IPC for many cheap tasks.
     task_timeout:
         Soft per-task seconds budget. A chunk is given
-        ``task_timeout * len(chunk)`` from the moment collection starts;
-        on expiry its tasks are recorded as failed with
+        ``task_timeout * sum(task.weight)`` measured from the moment the batch
+        is *submitted* (not from when its result is collected — deadlines
+        anchored at collection would let a slow early chunk silently
+        grant every later chunk extra wall-clock). Time spent queued
+        behind other chunks — and pool startup itself, which under the
+        ``spawn`` start method includes booting interpreters — counts:
+        a chunk still queued when its deadline passes is reported timed
+        out even though it never ran, and once one chunk expires every
+        later same-deadline chunk that has not finished expires with it.
+        Size the timeout for the whole fan-out (or raise ``chunk_size``
+        so queueing is bounded), not just one task's compute. On expiry
+        a chunk's tasks are recorded as failed with
         ``error_type="TimeoutError"`` and :meth:`run` returns without
         joining the hung worker (the orphaned process runs its current
         task to completion or dies with the interpreter — a running
@@ -192,11 +206,19 @@ class BatchRunner:
                                    mp_context=ctx)
         try:
             futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            # Deadlines are anchored at submission time: every chunk must
+            # deliver within its own budget of wall-clock from *now*,
+            # however long earlier chunks took to collect.
+            submitted = time.monotonic()
             for chunk, future in zip(chunks, futures):
-                budget = (self._task_timeout * len(chunk)
-                          if self._task_timeout is not None else None)
+                budget = remaining = None
+                if self._task_timeout is not None:
+                    budget = self._task_timeout * sum(
+                        max(1, t.weight) for t in chunk)
+                    remaining = max(0.0,
+                                    budget - (time.monotonic() - submitted))
                 try:
-                    outcomes.extend(future.result(timeout=budget))
+                    outcomes.extend(future.result(timeout=remaining))
                 except FuturesTimeout:
                     timed_out = True
                     future.cancel()
@@ -204,7 +226,7 @@ class BatchRunner:
                         BatchOutcome(key=t.key, ok=False,
                                      error_type="TimeoutError",
                                      error=f"no result within {budget:.3g}s "
-                                           "(chunk deadline)")
+                                           "of submission (chunk deadline)")
                         for t in chunk)
                 except Exception as exc:  # BrokenProcessPool and friends;
                     # KeyboardInterrupt must abort the whole run instead.

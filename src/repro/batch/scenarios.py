@@ -44,7 +44,8 @@ from repro.models.raid5 import (
 )
 
 __all__ = ["Scenario", "scenario_families", "generate_scenarios",
-           "build_scenario_model", "solve_scenario", "scenario_tasks"]
+           "build_scenario_model", "solve_scenario", "scenario_tasks",
+           "scenario_requests", "solve_scenarios"]
 
 #: Default evaluation horizon grid (hours, paper-style log sweep).
 _DEFAULT_TIMES: tuple[float, ...] = (1.0, 10.0, 100.0, 1000.0)
@@ -155,11 +156,47 @@ def solve_scenario(scenario: Scenario, method: str = "RRL",
 
 def scenario_tasks(scenarios: Iterable[Scenario],
                    methods: Sequence[str] = ("RRL",)) -> list:
-    """One :class:`~repro.batch.runner.BatchTask` per (scenario, method)."""
+    """One :class:`~repro.batch.runner.BatchTask` per (scenario, method).
+
+    The un-planned fan-out; :func:`scenario_requests` +
+    :func:`repro.batch.planner.execute_requests` additionally share
+    kernels and fuse compatible cells across scenarios with equal models.
+    """
     from repro.batch.runner import BatchTask
 
     return [BatchTask(fn=solve_scenario, args=(s, m), key=(s.name, m))
             for s in scenarios for m in methods]
+
+
+def scenario_requests(scenarios: Iterable[Scenario],
+                      methods: Sequence[str] = ("RRL",)) -> list:
+    """One :class:`~repro.batch.planner.SolveRequest` per
+    (scenario, method), keyed ``(scenario.name, method)`` like
+    :func:`scenario_tasks` — ready for the fusion planner."""
+    from repro.batch.planner import SolveRequest
+
+    return [SolveRequest(scenario=s, measure=s.measure, times=s.times,
+                         eps=s.eps, method=m, key=(s.name, m))
+            for s in scenarios for m in methods]
+
+
+def solve_scenarios(scenarios: Iterable[Scenario],
+                    methods: Sequence[str] = ("RRL",),
+                    runner=None,
+                    *,
+                    fuse: bool = True) -> list:
+    """Solve a scenario sweep through the fusion planner.
+
+    Scenarios sharing a model fuse (SR/RSD) or at least share a
+    per-worker kernel; returns one
+    :class:`~repro.batch.runner.BatchOutcome` per (scenario, method) in
+    order. ``fuse=False`` plans one task per cell — same numbers, paying
+    the per-cell stepping price.
+    """
+    from repro.batch.planner import execute_requests
+
+    return execute_requests(scenario_requests(scenarios, methods),
+                            runner, fuse=fuse)
 
 
 def _raid5_scenarios(times: tuple[float, ...], eps: float

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.batch.kernel import UniformizationKernel
 from repro.core.schedules import ScheduleBuilder
 from repro.exceptions import ModelError
 from repro.markov.ctmc import CTMC
@@ -48,12 +49,19 @@ def default_regenerative_state(model: CTMC) -> int:
 
 
 def prepare(model: CTMC, rewards: RewardStructure,
-            regenerative: int | None, rate: float | None) -> RegenerativeSetup:
-    """Uniformize the model and construct the schedule builders."""
+            regenerative: int | None, rate: float | None,
+            kernel: UniformizationKernel | None = None
+            ) -> RegenerativeSetup:
+    """Uniformize the model and construct the schedule builders.
+
+    An injected pre-built ``kernel`` skips the re-uniformization and lets
+    both schedule builders step through the shared CSR; the resulting
+    setup is bit-identical.
+    """
     if regenerative is None:
         regenerative = default_regenerative_state(model)
     main, primed, lam, absorbing = ScheduleBuilder.for_model(
-        model, rewards, regenerative, rate)
+        model, rewards, regenerative, rate, kernel=kernel)
     return RegenerativeSetup(
         main=main,
         primed=primed,

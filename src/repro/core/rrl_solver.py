@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch.kernel import UniformizationKernel
 from repro.core._setup import prepare
 from repro.core.transforms import VklTransform
 from repro.core.truncation import select_truncation
@@ -70,8 +71,17 @@ class RRLSolver:
               rewards: RewardStructure,
               measure: Measure,
               times: np.ndarray | list[float],
-              eps: float = 1e-12) -> TransientSolution:
-        """Compute the measure at every time point with total error ``eps``."""
+              eps: float = 1e-12,
+              *,
+              kernel: UniformizationKernel | None = None
+              ) -> TransientSolution:
+        """Compute the measure at every time point with total error ``eps``.
+
+        ``kernel`` may be a pre-built (cached/shared) kernel from
+        ``UniformizationKernel.from_model(model)``; the transformation
+        phase then steps through it instead of re-uniformizing, with
+        bit-identical results.
+        """
         rewards.check_model(model)
         t_arr = as_time_array(times)
         if eps <= 0.0:
@@ -81,9 +91,12 @@ class RRLSolver:
             return TransientSolution(
                 times=t_arr, values=np.zeros_like(t_arr), measure=measure,
                 eps=eps, steps=np.zeros(t_arr.size, dtype=int),
-                method=self.method_name, stats={})
+                method=self.method_name,
+                stats={"rate": self._rate if self._rate is not None
+                       else model.max_output_rate})
 
-        setup = prepare(model, rewards, self._regenerative, self._rate)
+        setup = prepare(model, rewards, self._regenerative, self._rate,
+                        kernel=kernel)
 
         values = np.empty(t_arr.size)
         steps = np.empty(t_arr.size, dtype=np.int64)

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
-from repro.batch.kernel import UniformizationKernel
+from repro.batch.kernel import UniformizationKernel, ensure_model_kernel
 from repro.exceptions import ModelError
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import RewardStructure
@@ -94,6 +94,12 @@ class ScheduleBuilder:
         initial distribution restricted to ``S \\ {r}`` for the primed
         one). Entries at ``r``/absorbing states must already be zero
         except that ``u0 = e_r`` is of course allowed for the main chain.
+    kernel:
+        Optional pre-built stepping kernel over the same ``P``. The main
+        and primed builders (and any other consumer of the model) can
+        share one kernel — and hence one CSR transpose — instead of each
+        converting ``transition`` privately; stepping is bit-identical
+        either way.
     """
 
     def __init__(self,
@@ -101,8 +107,12 @@ class ScheduleBuilder:
                  regenerative: int,
                  absorbing: np.ndarray,
                  reward: np.ndarray,
-                 u0: np.ndarray) -> None:
-        self._kernel = UniformizationKernel(transition)
+                 u0: np.ndarray,
+                 kernel: UniformizationKernel | None = None) -> None:
+        self._kernel = kernel if kernel is not None \
+            else UniformizationKernel(transition)
+        if self._kernel.n_states != transition.shape[0]:
+            raise ModelError("kernel does not match transition matrix")
         self._r_idx = int(regenerative)
         self._abs_idx = np.asarray(absorbing, dtype=int)
         self._reward = np.asarray(reward, dtype=np.float64)
@@ -122,7 +132,8 @@ class ScheduleBuilder:
     @classmethod
     def for_model(cls, model: CTMC, rewards: RewardStructure,
                   regenerative: int,
-                  rate: float | None = None
+                  rate: float | None = None,
+                  kernel: UniformizationKernel | None = None
                   ) -> tuple["ScheduleBuilder", "ScheduleBuilder | None",
                              float, np.ndarray]:
         """Build the main and primed builders for a model.
@@ -130,9 +141,13 @@ class ScheduleBuilder:
         Returns ``(main, primed_or_None, rate, absorbing_indices)``.
         The primed builder is ``None`` when the initial distribution is
         concentrated on ``r`` (``α_r = 1``), the paper's ``V_K`` case.
+        With a pre-built ``kernel`` (from
+        ``UniformizationKernel.from_model(model)``) the model is not
+        re-uniformized and both builders step through the shared kernel;
+        the schedules are bit-identical either way.
         """
         rewards.check_model(model)
-        dtmc, lam = model.uniformize(rate)
+        kernel, dtmc, lam = ensure_model_kernel(model, kernel, rate)
         absorbing = model.absorbing_states()
         if regenerative in set(int(i) for i in absorbing):
             raise ModelError("the regenerative state cannot be absorbing")
@@ -146,14 +161,15 @@ class ScheduleBuilder:
 
         e_r = np.zeros(model.n_states)
         e_r[regenerative] = 1.0
-        main = cls(p, regenerative, absorbing, r_vec, e_r)
+        main = cls(p, regenerative, absorbing, r_vec, e_r, kernel=kernel)
 
         alpha_r = float(init[regenerative])
         primed: ScheduleBuilder | None = None
         if alpha_r < 1.0:
             u0 = init.copy()
             u0[regenerative] = 0.0
-            primed = cls(p, regenerative, absorbing, r_vec, u0)
+            primed = cls(p, regenerative, absorbing, r_vec, u0,
+                         kernel=kernel)
         return main, primed, lam, absorbing
 
     # -- incremental stepping ---------------------------------------------

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.batch.kernel import UniformizationKernel, shared_fox_glynn
-from repro.exceptions import TruncationError
+from repro.exceptions import ModelError, TruncationError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
@@ -94,25 +94,39 @@ class AdaptiveUniformizationSolver:
               rewards: RewardStructure,
               measure: Measure,
               times: np.ndarray | list[float],
-              eps: float = 1e-12) -> TransientSolution:
-        """Compute the measure at each time point with total error ``eps``."""
+              eps: float = 1e-12,
+              *,
+              kernel: UniformizationKernel | None = None
+              ) -> TransientSolution:
+        """Compute the measure at each time point with total error ``eps``.
+
+        ``kernel`` may be any pre-built kernel carrying the model's
+        generator (``from_generator`` or ``from_model``): adaptive
+        stepping only uses ``Q``, so a fixed-rate kernel shared with the
+        other solvers works here too, bit-identically.
+        """
         rewards.check_model(model)
         t_arr = as_time_array(times)
         if eps <= 0.0:
             raise ValueError("eps must be positive")
         r = rewards.rates
         r_max = rewards.max_rate
+        lam_global = model.max_output_rate
         if r_max == 0.0:
             zeros = np.zeros_like(t_arr)
             return TransientSolution(times=t_arr, values=zeros,
                                      measure=measure, eps=eps,
                                      steps=np.zeros(t_arr.size, dtype=int),
-                                     method=self.method_name, stats={})
+                                     method=self.method_name,
+                                     stats={"rate": lam_global})
 
-        kernel = UniformizationKernel.from_generator(model)
+        if kernel is None:
+            kernel = UniformizationKernel.from_generator(model)
+        elif not kernel.has_generator or kernel.n_states != model.n_states:
+            raise ModelError(
+                "injected kernel must carry this model's generator")
         out_rates = model.output_rates
         t_max = float(t_arr.max())
-        lam_global = model.max_output_rate
 
         # Adaptive stepping: maintain the conditional distribution given
         # n births, with per-step rate = max output rate over the support.
@@ -197,5 +211,6 @@ class AdaptiveUniformizationSolver:
         return TransientSolution(times=t_arr, values=values, measure=measure,
                                  eps=eps, steps=steps,
                                  method=self.method_name,
-                                 stats={"adaptive_rates": lam_arr,
+                                 stats={"rate": lam_global,
+                                        "adaptive_rates": lam_arr,
                                         "budget": budget})

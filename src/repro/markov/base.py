@@ -20,7 +20,24 @@ import numpy as np
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
 
-__all__ = ["TransientSolution", "TransientSolver"]
+__all__ = ["SolveCell", "TransientSolution", "TransientSolver"]
+
+
+@dataclass(frozen=True)
+class SolveCell:
+    """One fusable unit of work against an already-built model.
+
+    The solver-layer currency of the fusion planner
+    (:mod:`repro.batch.planner`): cells sharing a model (and method) can be
+    handed together to a solver's ``solve_fused`` so they share one
+    uniformization kernel and one stepping pass. Deliberately minimal — a
+    cell is everything ``solve`` takes *except* the model.
+    """
+
+    rewards: RewardStructure
+    measure: Measure
+    times: tuple[float, ...]
+    eps: float = 1e-12
 
 
 @dataclass
@@ -44,8 +61,24 @@ class TransientSolution:
     method:
         Short method tag (``"SR"``, ``"RSD"``, ``"RR"``, ``"RRL"``, ...).
     stats:
-        Free-form per-run diagnostics (e.g. number of Laplace abscissae,
-        truncation parameters K and L, detection step).
+        Per-run diagnostics (e.g. number of Laplace abscissae, truncation
+        parameters K and L, detection step). The schema is unified across
+        solvers:
+
+        * ``rate`` — **every** solver reports the randomization rate ``Λ``
+          it worked with (for the ODE baseline and AU, which have no fixed
+          ``Λ``, this is the model's maximum output rate — the minimal
+          valid uniformization rate the other methods would use);
+        * ``shared_steps`` — **SR only**: the length (minus the free
+          ``n = 0`` term) of the ``d_n`` sequence actually stepped, which
+          is shared across the solve's time points and therefore can
+          exceed any single entry of ``steps``;
+        * ``fused_width`` — present **only** on solutions produced by a
+          fused multi-cell pass (``solve_fused``): the number of cells
+          that shared the stepping, ``>= 2``. Absent on ordinary solves.
+
+        Everything else (``k_ss``, ``K``/``L``, ``n_abscissae``, ...) is
+        solver-specific and documented on the solver.
     """
 
     times: np.ndarray

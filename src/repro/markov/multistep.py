@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
-from repro.batch.kernel import UniformizationKernel
+from repro.batch.kernel import UniformizationKernel, ensure_model_kernel
 from repro.exceptions import TruncationError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
@@ -85,15 +85,23 @@ class MultistepRandomizationSolver:
               rewards: RewardStructure,
               measure: Measure,
               times: np.ndarray | list[float],
-              eps: float = 1e-12) -> TransientSolution:
-        """Compute TRR at every time point with total error ``eps``."""
+              eps: float = 1e-12,
+              *,
+              kernel: UniformizationKernel | None = None
+              ) -> TransientSolution:
+        """Compute TRR at every time point with total error ``eps``.
+
+        ``kernel`` may be a pre-built (cached/shared) kernel from
+        ``UniformizationKernel.from_model(model)``; results are
+        bit-identical to letting the solver build its own.
+        """
         if measure is not Measure.TRR:
             raise ValueError("multistep randomization supports TRR only")
         rewards.check_model(model)
         t_arr = as_time_array(times)
         if eps <= 0.0:
             raise ValueError("eps must be positive")
-        dtmc, rate = model.uniformize(self._rate)
+        kernel, dtmc, rate = ensure_model_kernel(model, kernel, self._rate)
         r_max = rewards.max_rate
         if r_max == 0.0:
             return TransientSolution(
@@ -102,7 +110,6 @@ class MultistepRandomizationSolver:
                 method=self.method_name, stats={"rate": rate})
 
         p = dtmc.transition_matrix
-        kernel = UniformizationKernel.from_dtmc(dtmc, rate)
         r = rewards.rates
         values = np.empty(t_arr.size)
         steps = np.empty(t_arr.size, dtype=np.int64)

@@ -92,5 +92,6 @@ class OdeSolver:
                                  steps=np.full(t_arr.size, sol.t.size,
                                                dtype=int),
                                  method=self.method_name,
-                                 stats={"nfev": sol.nfev,
+                                 stats={"rate": model.max_output_rate,
+                                        "nfev": sol.nfev,
                                         "njev": getattr(sol, "njev", 0)})

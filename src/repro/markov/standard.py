@@ -26,11 +26,13 @@ truncation budget (paper, Section 1).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
-from repro.batch.kernel import UniformizationKernel
+from repro.batch.kernel import UniformizationKernel, ensure_model_kernel
 from repro.exceptions import TruncationError
-from repro.markov.base import TransientSolution, as_time_array
+from repro.markov.base import SolveCell, TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.poisson import (
     poisson_expected_excess,
@@ -78,6 +80,39 @@ def sr_required_steps(rate_time: float, eps_rel: float,
     return lo + 1
 
 
+def _sr_terms(t_arr: np.ndarray, rate: float, eps: float, r_max: float,
+              measure: Measure) -> np.ndarray:
+    """Per-time series lengths (the step count the paper tabulates is one
+    less, since the ``n = 0`` term is free)."""
+    terms = np.empty(t_arr.size, dtype=np.int64)
+    for i, t in enumerate(t_arr):
+        lam_t = rate * t
+        if measure is Measure.TRR:
+            terms[i] = sr_required_steps(lam_t, eps / r_max, measure)
+        else:
+            terms[i] = sr_required_steps(lam_t, eps * lam_t / r_max, measure)
+    return terms
+
+
+def _sr_values(kernel: UniformizationKernel, d: np.ndarray,
+               t_arr: np.ndarray, terms: np.ndarray, rate: float,
+               eps: float, r_max: float, measure: Measure) -> np.ndarray:
+    """Poisson-weight a ``d_n`` sequence into per-time measure values."""
+    values = np.empty(t_arr.size, dtype=np.float64)
+    for i, t in enumerate(t_arr):
+        lam_t = rate * t
+        n_i = int(terms[i])
+        if measure is Measure.TRR:
+            window = kernel.window(t, eps / r_max)
+            hi = min(window.right + 1, n_i)
+            w = window.weights[: hi - window.left]
+            values[i] = float(w @ d[window.left: hi])
+        else:
+            tails = poisson_sf(np.arange(n_i, dtype=np.float64), lam_t)
+            values[i] = float(tails @ d[:n_i]) / lam_t
+    return values
+
+
 class StandardRandomizationSolver:
     """Transient solver using standard randomization (the paper's ``SR``).
 
@@ -106,14 +141,21 @@ class StandardRandomizationSolver:
               rewards: RewardStructure,
               measure: Measure,
               times: np.ndarray | list[float],
-              eps: float = 1e-12) -> TransientSolution:
-        """Compute the measure at every time point with total error ``eps``."""
+              eps: float = 1e-12,
+              *,
+              kernel: UniformizationKernel | None = None
+              ) -> TransientSolution:
+        """Compute the measure at every time point with total error ``eps``.
+
+        ``kernel`` may be a pre-built (cached/shared) kernel from
+        ``UniformizationKernel.from_model(model)``; results are
+        bit-identical to letting the solver build its own.
+        """
         rewards.check_model(model)
         t_arr = as_time_array(times)
         if eps <= 0.0:
             raise ValueError("eps must be positive")
-        kernel, dtmc, rate = UniformizationKernel.from_model(model,
-                                                             self._rate)
+        kernel, dtmc, rate = ensure_model_kernel(model, kernel, self._rate)
         r_max = rewards.max_rate
         if r_max == 0.0:
             # All rewards zero: the measure is identically zero.
@@ -124,16 +166,7 @@ class StandardRandomizationSolver:
                                      method=self.method_name,
                                      stats={"rate": rate})
 
-        # Per-time series lengths; the *step* (matrix-vector product) count
-        # the paper tabulates is one less, since the n = 0 term is free.
-        terms = np.empty(t_arr.size, dtype=np.int64)
-        for i, t in enumerate(t_arr):
-            lam_t = rate * t
-            if measure is Measure.TRR:
-                terms[i] = sr_required_steps(lam_t, eps / r_max, measure)
-            else:
-                terms[i] = sr_required_steps(lam_t, eps * lam_t / r_max,
-                                             measure)
+        terms = _sr_terms(t_arr, rate, eps, r_max, measure)
         n_max = int(terms.max())
         if n_max > self._max_steps:
             raise TruncationError(
@@ -143,21 +176,77 @@ class StandardRandomizationSolver:
         # Shared reward sequence d_n = (π P^n) r, n = 0..n_max-1, stepped
         # through the shared uniformization kernel.
         d = kernel.reward_sequence(dtmc.initial, rewards.rates, n_max)
-
-        values = np.empty(t_arr.size, dtype=np.float64)
-        for i, t in enumerate(t_arr):
-            lam_t = rate * t
-            n_i = int(terms[i])
-            if measure is Measure.TRR:
-                window = kernel.window(t, eps / r_max)
-                hi = min(window.right + 1, n_i)
-                w = window.weights[: hi - window.left]
-                values[i] = float(w @ d[window.left: hi])
-            else:
-                tails = poisson_sf(np.arange(n_i, dtype=np.float64), lam_t)
-                values[i] = float(tails @ d[:n_i]) / lam_t
+        values = _sr_values(kernel, d, t_arr, terms, rate, eps, r_max,
+                            measure)
         return TransientSolution(times=t_arr, values=values, measure=measure,
                                  eps=eps, steps=terms - 1,
                                  method=self.method_name,
                                  stats={"rate": rate,
                                         "shared_steps": n_max - 1})
+
+    def solve_fused(self,
+                    model: CTMC,
+                    cells: Sequence[SolveCell],
+                    *,
+                    kernel: UniformizationKernel | None = None
+                    ) -> list[TransientSolution]:
+        """Solve several cells against one model in a single stacked pass.
+
+        All cells share one kernel and one ``d_n`` stepping sweep (to the
+        largest horizon any cell needs) via
+        :meth:`~repro.batch.kernel.UniformizationKernel.reward_sequences`;
+        cell ``j``'s solution is bit-for-bit identical to
+        ``solve(model, cells[j].rewards, ...)`` on its own, except that
+        ``stats`` gains ``fused_width`` and ``shared_steps`` reflects the
+        group-wide sweep. Raises
+        :class:`~repro.exceptions.TruncationError` when *any* cell exceeds
+        ``max_steps`` (callers wanting per-cell failure isolation fall
+        back to per-cell ``solve``).
+        """
+        cells = list(cells)
+        if not cells:
+            return []
+        kernel, dtmc, rate = ensure_model_kernel(model, kernel, self._rate)
+        width = len(cells)
+        results: list[TransientSolution | None] = [None] * width
+        live: list[tuple[int, np.ndarray, np.ndarray, SolveCell, float]] = []
+        for idx, cell in enumerate(cells):
+            cell.rewards.check_model(model)
+            t_arr = as_time_array(cell.times)
+            if cell.eps <= 0.0:
+                raise ValueError("eps must be positive")
+            r_max = cell.rewards.max_rate
+            if r_max == 0.0:
+                results[idx] = TransientSolution(
+                    times=t_arr, values=np.zeros_like(t_arr),
+                    measure=cell.measure, eps=cell.eps,
+                    steps=np.zeros(t_arr.size, dtype=int),
+                    method=self.method_name,
+                    stats={"rate": rate, "fused_width": width})
+                continue
+            terms = _sr_terms(t_arr, rate, cell.eps, r_max, cell.measure)
+            if int(terms.max()) > self._max_steps:
+                raise TruncationError(
+                    f"SR cell needs {int(terms.max())} steps "
+                    f"(> max_steps={self._max_steps}); "
+                    "use RR/RRL for this horizon")
+            live.append((idx, t_arr, terms, cell, r_max))
+        if live:
+            n_max = max(int(entry[2].max()) for entry in live)
+            stack = np.column_stack([entry[3].rewards.rates
+                                     for entry in live])
+            d = kernel.reward_sequences(dtmc.initial, stack, n_max)
+            for j, (idx, t_arr, terms, cell, r_max) in enumerate(live):
+                # Contiguous copy: the weighting dots must see the same
+                # memory layout as the single-cell path (strided BLAS
+                # dots can round differently).
+                d_col = np.ascontiguousarray(d[:, j])
+                values = _sr_values(kernel, d_col, t_arr, terms, rate,
+                                    cell.eps, r_max, cell.measure)
+                results[idx] = TransientSolution(
+                    times=t_arr, values=values, measure=cell.measure,
+                    eps=cell.eps, steps=terms - 1,
+                    method=self.method_name,
+                    stats={"rate": rate, "shared_steps": n_max - 1,
+                           "fused_width": width})
+        return results  # type: ignore[return-value]

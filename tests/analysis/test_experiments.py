@@ -1,6 +1,8 @@
 """Experiment harness on a reduced grid (the paper grid runs in the
 benchmarks; here we verify the machinery and the qualitative shapes)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.analysis.experiments import (
     PAPER_UR_1E5,
     ExperimentConfig,
     run_figure4,
+    run_grid,
     run_table1,
     run_table2,
 )
@@ -73,3 +76,28 @@ class TestTimingTable:
         cfg = ExperimentConfig.paper()
         assert cfg.groups == (20, 40)
         assert cfg.times[-1] == 1e5
+        assert cfg.fuse is True
+
+
+class TestPlannedGrid:
+    @pytest.fixture(scope="class")
+    def fused_grid(self):
+        return run_grid(CFG, include_timings=False)
+
+    def test_fused_equals_unfused_grid(self, fused_grid):
+        unfused = run_grid(dataclasses.replace(CFG, fuse=False),
+                           include_timings=False)
+        assert fused_grid.table1.columns == unfused.table1.columns
+        assert fused_grid.table2.columns == unfused.table2.columns
+        assert fused_grid.ur_values == unfused.ur_values
+        assert fused_grid.ur_abscissae == unfused.ur_abscissae
+
+    def test_plan_coalesces_rrl_ur_duplicate(self, fused_grid):
+        # Table 2's RR/RRL column and the UR sweep are the same solve:
+        # the plan must report one coalesced request per model size.
+        assert fused_grid.plan_summary is not None
+        assert f"{len(CFG.groups)} coalesced" in fused_grid.plan_summary
+
+    def test_plan_summary_in_json_dump(self, fused_grid):
+        assert fused_grid.to_dict()["plan_summary"] \
+            == fused_grid.plan_summary

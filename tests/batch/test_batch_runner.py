@@ -1,6 +1,7 @@
 """Unit tests for the BatchRunner: failure capture, determinism,
 chunking, timeouts and the inline fallback."""
 
+import multiprocessing
 import time
 
 import pytest
@@ -117,6 +118,46 @@ class TestPool:
         # run() must honour its deadline rather than joining the hung
         # worker (1.5s sleep): it abandons the pool after the timeout.
         assert elapsed < 1.2, f"run() blocked {elapsed:.2f}s on a timeout"
+
+    def test_chunk_deadline_measured_from_submission(self):
+        # Regression: deadlines used to start when *collection* of a
+        # chunk started, so a slow (but in-budget) early chunk granted
+        # every later chunk that much extra wall-clock. Four 0.8s tasks
+        # on two workers with a 1.2s budget: the first pair finishes at
+        # ~0.8s (in budget), the second pair at ~1.6s after submission
+        # and must be recorded as timed out — under collection-anchored
+        # deadlines it would have sailed through with ~0.8s of slack.
+        # Forked workers keep pool startup (which also counts against
+        # the budget) far below the timing margins here; spawn-only
+        # platforms would need much coarser sleeps.
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method for tight timings")
+        runner = BatchRunner(max_workers=2, task_timeout=1.2,
+                             mp_context="fork")
+        start = time.perf_counter()
+        outs = runner.run([BatchTask(fn=_sleepy, args=(0.8,), key=i)
+                           for i in range(4)])
+        elapsed = time.perf_counter() - start
+        assert [o.ok for o in outs] == [True, True, False, False]
+        assert outs[2].error_type == "TimeoutError"
+        assert "submission" in outs[2].error
+        # The deadline is honoured in wall-clock too: the run must not
+        # wait out the second pair's full sleep.
+        assert elapsed < 1.55, f"run() blocked {elapsed:.2f}s past deadline"
+
+    def test_task_weight_scales_timeout_budget(self):
+        # A fused task doing N cells' worth of work declares weight=N;
+        # its chunk budget must be task_timeout * N, not * 1.
+        runner = BatchRunner(max_workers=2, task_timeout=0.25,
+                             mp_context="fork" if "fork" in
+                             multiprocessing.get_all_start_methods()
+                             else None)
+        heavy = BatchTask(fn=_sleepy, args=(0.6,), key="w", weight=4)
+        light = BatchTask(fn=_sleepy, args=(1.2,), key="l")  # weight 1
+        outs = runner.run([heavy, light])
+        assert outs[0].ok is True       # 0.6s < 0.25 * 4: weight honoured
+        assert outs[1].ok is False      # 1.2s > 0.25 * 1
+        assert outs[1].error_type == "TimeoutError"
 
     def test_map_convenience(self):
         runner = BatchRunner(max_workers=1)

@@ -10,8 +10,10 @@ import pytest
 
 from repro.batch.kernel import (
     UniformizationKernel,
+    ensure_model_kernel,
     fox_glynn_cache_clear,
     fox_glynn_cache_info,
+    kernel_build_count,
     shared_fox_glynn,
 )
 from repro.exceptions import ModelError
@@ -60,6 +62,40 @@ class TestStackedPropagation:
         for n in range(9):
             assert d[n] == r @ pi
             pi = dtmc.step(pi)
+
+    def test_reward_sequences_columns_bitwise(self, kernel_and_model):
+        # The fused-solver primitive: one initial, a stack of reward
+        # vectors — every column must equal its single-reward run ulp
+        # for ulp, because SR/RSD fusion relies on exactly this.
+        kernel, dtmc, _, model = kernel_and_model
+        rng = np.random.default_rng(23)
+        rewards = rng.random((model.n_states, 4))
+        d = kernel.reward_sequences(dtmc.initial, rewards, 15)
+        assert d.shape == (15, 4)
+        for j in range(4):
+            d_one = kernel.reward_sequence(dtmc.initial,
+                                           rewards[:, j], 15)
+            assert np.array_equal(d[:, j], d_one)
+
+    def test_reward_sequences_steps_once_per_level(self, kernel_and_model):
+        kernel, dtmc, _, model = kernel_and_model
+        before = kernel.steps_done
+        kernel.reward_sequences(dtmc.initial, np.ones((model.n_states, 6)),
+                                10)
+        # 9 steps for 10 levels, independent of the 6 reward columns.
+        assert kernel.steps_done - before == 9
+
+    def test_reward_sequences_shape_checks(self, kernel_and_model):
+        kernel, dtmc, _, model = kernel_and_model
+        with pytest.raises(ModelError):
+            kernel.reward_sequences(np.ones((model.n_states, 2)),
+                                    np.ones((model.n_states, 2)), 3)
+        with pytest.raises(ModelError):
+            kernel.reward_sequences(dtmc.initial, np.ones(model.n_states),
+                                    3)
+        with pytest.raises(ValueError):
+            kernel.reward_sequences(dtmc.initial,
+                                    np.ones((model.n_states, 2)), 0)
 
     def test_propagate_zero_steps_is_identity(self, kernel_and_model):
         kernel, dtmc, _, _ = kernel_and_model
@@ -167,3 +203,55 @@ class TestValidation:
             kernel.reward_sequence(dtmc.initial, np.ones(5), 3)
         with pytest.raises(ValueError):
             kernel.reward_sequence(dtmc.initial, np.ones(2), 0)
+
+
+class TestEnsureModelKernel:
+    def test_builds_when_none(self):
+        model, _ = two_state_availability()
+        kernel, dtmc, rate = ensure_model_kernel(model, None)
+        assert kernel.dtmc is dtmc
+        assert rate == pytest.approx(model.max_output_rate)
+
+    def test_accepts_matching_injected_kernel(self):
+        model, _ = two_state_availability()
+        built, _, _ = UniformizationKernel.from_model(model)
+        before = kernel_build_count()
+        kernel, dtmc, rate = ensure_model_kernel(model, built)
+        assert kernel is built
+        assert dtmc is built.dtmc
+        assert kernel_build_count() == before  # no rebuild
+
+    def test_rejects_kernel_without_dtmc(self):
+        model, _ = two_state_availability()
+        dtmc, rate = model.uniformize()
+        bare = UniformizationKernel.from_dtmc(dtmc, rate)
+        with pytest.raises(ModelError, match="from_model"):
+            ensure_model_kernel(model, bare)
+
+    def test_rejects_size_and_rate_mismatch(self):
+        model, _ = two_state_availability()
+        other = random_ctmc(5, density=0.5, seed=1)
+        wrong_size, _, _ = UniformizationKernel.from_model(other)
+        with pytest.raises(ModelError, match="states"):
+            ensure_model_kernel(model, wrong_size)
+        built, _, _ = UniformizationKernel.from_model(model)
+        with pytest.raises(ModelError, match="rate"):
+            ensure_model_kernel(model, built,
+                                rate=2.0 * model.max_output_rate)
+
+    def test_rejects_kernel_from_different_same_size_model(self):
+        import numpy as _np
+        from repro.markov.ctmc import CTMC
+
+        slow = CTMC(_np.array([[-0.5, 0.5], [1.0, -1.0]]))
+        fast = CTMC(_np.array([[-4.0, 4.0], [8.0, -8.0]]))
+        slow_kernel, _, _ = UniformizationKernel.from_model(slow)
+        # Same size, but the kernel's rate cannot dominate fast's rates.
+        with pytest.raises(ModelError, match="max output rate"):
+            ensure_model_kernel(fast, slow_kernel)
+        # Same size and compatible rates, different initial distribution.
+        shifted = CTMC(_np.array([[-0.5, 0.5], [1.0, -1.0]]),
+                       initial=_np.array([0.25, 0.75]))
+        shifted_kernel, _, _ = UniformizationKernel.from_model(shifted)
+        with pytest.raises(ModelError, match="initial"):
+            ensure_model_kernel(slow, shifted_kernel)

@@ -16,7 +16,8 @@ import pytest
 
 from repro.analysis.runner import get_solver
 from repro.batch.scenarios import build_scenario_model, generate_scenarios
-from repro.markov.rewards import Measure
+from repro.markov.base import SolveCell
+from repro.markov.rewards import Measure, RewardStructure
 
 EPS = 1e-8
 
@@ -68,6 +69,8 @@ def _solve_all(scenario):
     for method in guaranteed + numeric:
         sol = get_solver(method).solve(model, rewards, scenario.measure,
                                        list(scenario.times), scenario.eps)
+        # Unified stats schema: every solver reports its rate.
+        assert "rate" in sol.stats, f"{method} solution lacks stats['rate']"
         values[method] = np.asarray(sol.values)
     return guaranteed, numeric, values
 
@@ -100,6 +103,50 @@ def test_mrr_consistency(scenario):
         assert values[method] == pytest.approx(reference,
                                                abs=NUMERIC_TOL), \
             f"{method} disagrees with RRL on {scenario.name}"
+
+
+def _fusable_methods_for(model):
+    methods = ["SR"]
+    if model.is_irreducible():
+        methods.append("RSD")
+    return methods
+
+
+@pytest.mark.parametrize("scenario", TRR_SCENARIOS + MRR_SCENARIOS,
+                         ids=lambda s: s.name)
+def test_fused_equals_unfused_bitwise(scenario):
+    """Every generated scenario, fused with perturbed sibling cells, must
+    reproduce its standalone solution bit for bit — per fusable solver.
+
+    The sibling cells vary everything fusion is allowed to vary (rewards,
+    eps, times) so the stacked pass cannot accidentally share anything
+    beyond the stepping itself.
+    """
+    model, rewards = build_scenario_model(scenario)
+    cell = SolveCell(rewards=rewards, measure=scenario.measure,
+                     times=scenario.times, eps=scenario.eps)
+    siblings = [
+        SolveCell(rewards=RewardStructure(0.5 * rewards.rates),
+                  measure=scenario.measure, times=scenario.times,
+                  eps=scenario.eps),
+        SolveCell(rewards=rewards, measure=scenario.measure,
+                  times=scenario.times, eps=scenario.eps * 0.1),
+        SolveCell(rewards=rewards, measure=scenario.measure,
+                  times=scenario.times[:1], eps=scenario.eps),
+    ]
+    for method in _fusable_methods_for(model):
+        solver = get_solver(method)
+        fused = solver.solve_fused(model, [cell] + siblings)
+        assert len(fused) == 4
+        for got, ref_cell in zip(fused, [cell] + siblings):
+            solo = get_solver(method).solve(
+                model, ref_cell.rewards, ref_cell.measure,
+                list(ref_cell.times), ref_cell.eps)
+            assert np.array_equal(got.values, solo.values), \
+                f"fused {method} values drifted on {scenario.name}"
+            assert np.array_equal(got.steps, solo.steps), \
+                f"fused {method} steps drifted on {scenario.name}"
+            assert got.stats["fused_width"] == 4
 
 
 def test_multistep_agrees_on_trr():
