@@ -152,6 +152,56 @@ def test_shared_model_fused_vs_unfused(benchmark):
             f"{unfused_seconds:.2f}s on a shared-model grid")
 
 
+def test_service_facade_overhead(benchmark):
+    """The service acceptance case: routing a grid through the
+    ``SolveService`` facade (and even through the on-disk ``JobQueue``)
+    must keep every number bit-identical to direct ``execute_requests``
+    plumbing, and the facade itself must add only negligible overhead —
+    it is bookkeeping, not numerics."""
+    from repro.service import JobQueue, SolveService
+
+    requests = _shared_model_requests()
+    inline = BatchRunner(max_workers=1)
+
+    worker_cache_clear()
+    t0 = time.perf_counter()
+    direct = execute_requests(requests, inline, fuse=True)
+    direct_seconds = time.perf_counter() - t0
+
+    worker_cache_clear()
+    t0 = time.perf_counter()
+    via_service = benchmark.pedantic(
+        lambda: SolveService(runner=inline, fuse=True).solve(requests),
+        rounds=1, iterations=1)
+    service_seconds = time.perf_counter() - t0
+
+    import tempfile
+    worker_cache_clear()
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="bench-queue-") as tmp:
+        queue = JobQueue(tmp)
+        queue.submit(requests)
+        queue.run(SolveService(runner=inline, fuse=True))
+        via_queue = queue.collect()
+    queue_seconds = time.perf_counter() - t0
+
+    for a, b, c in zip(via_service, direct, via_queue):
+        assert a.ok and b.ok and c.ok
+        assert np.array_equal(a.value.values, b.value.values)
+        assert np.array_equal(a.value.values, c.value.values)
+    overhead = service_seconds - direct_seconds
+    print(f"\nservice overhead ({len(requests)} cells): direct "
+          f"{direct_seconds:.3f}s, facade {service_seconds:.3f}s "
+          f"(overhead {overhead * 1e3:+.1f}ms), journaled queue "
+          f"{queue_seconds:.3f}s (serialization + fsync)")
+    # The facade adds planner bookkeeping only; anything near a 50%
+    # blowup on a multi-second grid means it started doing real work.
+    if direct_seconds > 1.0:
+        assert service_seconds < 1.5 * direct_seconds, (
+            f"facade {service_seconds:.2f}s vs direct "
+            f"{direct_seconds:.2f}s: overhead is no longer negligible")
+
+
 def test_scenario_sweep_pooled(benchmark):
     """Fan a generated scenario sweep over the pool; outcomes stay
     deterministic and identical to inline execution."""

@@ -6,9 +6,12 @@ the fusion planner (duplicate solves coalesce, unfused cells share one
 kernel per worker) and fanned over a process pool. ``--quick`` switches
 to a seconds-scale smoke grid for CI; ``--no-fuse`` disables the planner
 (one task per cell, the PR-1 execution shape); ``--verify`` re-runs the
-measure columns unfused-pooled and serial and asserts all three
+measure columns unfused-pooled and serial, asserts all in-process
 executions produce bit-identical tables (neither the batch decomposition
-nor the fusion plan may ever change a number).
+nor the fusion plan may ever change a number), and additionally proves
+the service path: the grid's solve cells are pushed through an on-disk
+``JobQueue`` — killed halfway and resumed from the journal — and every
+collected outcome must match serial in-process execution bit for bit.
 
 Examples
 --------
@@ -24,15 +27,20 @@ import argparse
 import dataclasses
 import json
 import sys
+import tempfile
 import time
+
+import numpy as np
 
 from repro.analysis.experiments import (
     ExperimentConfig,
     GridResult,
+    grid_solve_requests,
     run_grid,
 )
 from repro.batch.runner import available_cpus
 from repro.models import build_raid5_availability
+from repro.service import JobQueue, SolveService
 
 
 def _default_workers() -> int:
@@ -44,9 +52,7 @@ def _default_workers() -> int:
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
     workers = 1 if args.serial else args.workers
     if args.quick:
-        return ExperimentConfig(groups=(2, 3), times=(1.0, 10.0, 100.0),
-                                eps=1e-10, sr_step_budget=200_000,
-                                workers=workers, fuse=args.fuse)
+        return ExperimentConfig.quick(workers=workers, fuse=args.fuse)
     return ExperimentConfig.paper(workers=workers, fuse=args.fuse)
 
 
@@ -62,8 +68,62 @@ def _assert_grids_equal(reference: GridResult, other: GridResult,
             raise AssertionError(f"UR values differ for G={g} ({label})")
 
 
+def verify_service_queue(config: ExperimentConfig) -> None:
+    """Assert on-disk queue execution (with a kill/resume cycle) ==
+    serial in-process execution, bit for bit.
+
+    The grid's solve cells are submitted to a temporary
+    :class:`JobQueue`, half are executed, the queue object is dropped
+    (the "kill" — only the journal survives), a fresh queue resumes from
+    the journal and finishes, and every collected outcome is compared
+    bitwise against the same requests solved in-process.
+
+    The in-process reference deliberately uses the *same* planner policy
+    as the queue run, which isolates exactly the layer under test (the
+    protocol/journal/resume machinery) and avoids re-solving the whole
+    grid unfused — ``verify_executions`` has already established
+    fused == unfused == serial at the grid level, so the chain closes:
+    queue == in-process(policy) == serial unfused.
+    """
+    requests = grid_solve_requests(config)
+    reference = SolveService(workers=1, fuse=config.fuse).solve(requests)
+    with tempfile.TemporaryDirectory(prefix="repro-queue-") as tmp:
+        queue = JobQueue(tmp)
+        queue.submit(requests)
+        # First half, one fsync per job, then "kill" the process state.
+        queue.run(SolveService(workers=config.workers, fuse=config.fuse),
+                  limit=len(requests) // 2, checkpoint=1)
+        del queue
+        resumed = JobQueue.resume(tmp)
+        n_pending = len(resumed.pending())
+        resumed.run(SolveService(workers=config.workers,
+                                 fuse=config.fuse))
+        outcomes = resumed.collect()
+    if len(outcomes) != len(requests):
+        raise AssertionError(
+            f"queue returned {len(outcomes)} outcomes for "
+            f"{len(requests)} requests")
+    for got, ref in zip(outcomes, reference):
+        if not (got.ok and ref.ok):
+            raise AssertionError(
+                f"cell {ref.key!r} failed: queue={got.error!r} "
+                f"serial={ref.error!r}")
+        if got.key != ref.key \
+                or not np.array_equal(got.value.values, ref.value.values) \
+                or not np.array_equal(got.value.steps, ref.value.steps):
+            raise AssertionError(
+                f"queue outcome differs from serial in-process for "
+                f"cell {ref.key!r}")
+    print(f"verify: on-disk queue (kill after "
+          f"{len(requests) - n_pending}/{len(requests)} jobs, resumed "
+          "from journal) vs serial in-process — bit-identical, OK",
+          flush=True)
+
+
 def verify_executions(config: ExperimentConfig, result: GridResult) -> None:
-    """Assert fused == unfused == serial, bit for bit.
+    """Assert fused == unfused == serial, bit for bit — and that the
+    service/queue path (including a kill/resume cycle) reproduces the
+    serial run exactly.
 
     Alternate configurations equal to the main run (or to each other —
     e.g. under ``--serial`` the "unfused" and "serial unfused" runs are
@@ -87,8 +147,9 @@ def verify_executions(config: ExperimentConfig, result: GridResult) -> None:
         _assert_grids_equal(result, alt, label)
         print(f"verify: {label} — bit-identical, OK", flush=True)
     if not ran:
-        print("verify: nothing to compare — the run is already serial "
-              "and unfused", flush=True)
+        print("verify: in-process runs need no comparison — the run is "
+              "already serial and unfused", flush=True)
+    verify_service_queue(config)
 
 
 def main(argv: list[str] | None = None) -> int:

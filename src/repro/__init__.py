@@ -30,10 +30,16 @@ Public API
 * Models: :mod:`repro.models` (parametric RAID-5 generator and a library
   of small analytical chains).
 * Experiments: :mod:`repro.analysis` (the table/figure harness).
-* Batch: :mod:`repro.batch` (shared uniformization kernel, parametric
-  scenario generator, model-fused execution planner
-  (:class:`SolveRequest` → :func:`repro.batch.planner.execute_requests`),
+* Batch substrate: :mod:`repro.batch` (shared uniformization kernel,
+  parametric scenario generator, model-fused execution planner,
   parallel :class:`BatchRunner`).
+* **Service (canonical batch API)**: :mod:`repro.service` —
+  :class:`SolveService` (the one entry point wrapping planner → runner →
+  scatter), a versioned JSON wire protocol for
+  :class:`SolveRequest`/:class:`BatchOutcome`/:class:`TransientSolution`
+  (:mod:`repro.service.protocol`, ``schema_version``-checked,
+  bit-exact), and :class:`JobQueue`, a resumable on-disk job queue whose
+  journal a killed run replays with bit-identical results.
 """
 
 from repro.exceptions import (
@@ -41,6 +47,8 @@ from repro.exceptions import (
     InversionError,
     MeasureError,
     ModelError,
+    ProtocolError,
+    QueueError,
     ReproError,
     TruncationError,
 )
@@ -68,14 +76,18 @@ from repro.batch.kernel import UniformizationKernel
 from repro.batch.planner import SolveRequest
 from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
 from repro.batch.scenarios import Scenario, generate_scenarios
+from repro.service import JobQueue, ServiceResult, SolveService
 
-__version__ = "1.0.0"
+# 2.0.0: the service layer became the canonical batch API, and the
+# pre-existing ``runner=BatchRunner(...)`` parameters of the experiment
+# harness were removed (breaking) in its favour — hence the major bump.
+__version__ = "2.0.0"
 
 __all__ = [
     "__version__",
     # errors
     "ReproError", "ModelError", "MeasureError", "ConvergenceError",
-    "TruncationError", "InversionError",
+    "TruncationError", "InversionError", "ProtocolError", "QueueError",
     # substrate
     "CTMC", "DTMC", "RewardStructure", "Measure", "TRR", "MRR",
     "TransientSolution",
@@ -87,4 +99,6 @@ __all__ = [
     # batch subsystem
     "UniformizationKernel", "BatchRunner", "BatchTask", "BatchOutcome",
     "Scenario", "generate_scenarios", "SolveRequest",
+    # service layer (canonical batch API)
+    "SolveService", "ServiceResult", "JobQueue",
 ]

@@ -11,9 +11,10 @@ counts need no solve) and the timing figures stay plain
 :class:`~repro.batch.runner.BatchTask` passthroughs, because a timed
 cell must pay its own standalone setup to mean what the paper's figures
 mean. Everything executes through one
-:class:`~repro.batch.runner.BatchRunner`, so the whole grid fans out over
-a process pool: ``ExperimentConfig(workers=4)`` or
-``run_grid(config, runner=...)``. With ``workers=1`` (the default) the
+:class:`~repro.service.service.SolveService` fan-out (the canonical API
+— this module never touches planner or runner internals), so the whole
+grid rides a process pool: ``ExperimentConfig(workers=4)`` or
+``run_grid(config, service=...)``. With ``workers=1`` (the default) the
 tasks run inline and the results are identical — neither the task
 decomposition nor the fusion plan ever changes any number
 (``fuse=False`` disables planning for A/B verification). Timing columns
@@ -53,8 +54,9 @@ import numpy as np
 
 from repro.analysis.reporting import format_series, format_table
 from repro.analysis.runner import get_solver
-from repro.batch.planner import ExecutionPlan, SolveRequest, plan_requests
-from repro.batch.runner import BatchRunner, BatchTask
+from repro.batch.planner import ExecutionPlan, SolveRequest
+from repro.batch.runner import BatchTask
+from repro.service.service import SolveService
 from repro.batch.scenarios import Scenario
 from repro.exceptions import TruncationError
 from repro.markov.base import TransientSolution
@@ -72,6 +74,7 @@ __all__ = [
     "StepTable",
     "TimingTable",
     "GridResult",
+    "grid_solve_requests",
     "run_steps_table",
     "run_timing_table",
     "run_table1",
@@ -147,10 +150,23 @@ class ExperimentConfig:
                    rr_inner_budget=rr_inner_budget,
                    workers=workers, fuse=fuse)
 
-    def runner(self) -> BatchRunner:
-        """The :class:`BatchRunner` this configuration asks for."""
-        return BatchRunner(max_workers=self.workers,
-                           chunk_size=self.chunk_size)
+    @classmethod
+    def quick(cls, *, workers: int = 1,
+              fuse: bool = True) -> "ExperimentConfig":
+        """A seconds-scale smoke grid (CI, queue end-to-end tests)."""
+        return cls(groups=(2, 3), times=(1.0, 10.0, 100.0), eps=1e-10,
+                   sr_step_budget=200_000, workers=workers, fuse=fuse)
+
+    def service(self) -> SolveService:
+        """The :class:`~repro.service.service.SolveService` this
+        configuration asks for — pool shape plus planner policy.
+
+        (Replaces the pre-2.0 ``runner()`` accessor: the pool now rides
+        inside the service instead of being wired up by callers.)
+        """
+        return SolveService(workers=self.workers,
+                            chunk_size=self.chunk_size,
+                            fuse=self.fuse)
 
     def params_for(self, g: int) -> Raid5Params:
         """RAID parameters for group count ``g`` (other knobs fixed)."""
@@ -237,14 +253,12 @@ def _raid5_scenario(config: ExperimentConfig, g: int, kind: str) -> Scenario:
 def _execute_workload(config: ExperimentConfig,
                       requests: list[SolveRequest],
                       tasks: list[BatchTask],
-                      runner: BatchRunner | None
+                      service: SolveService | None
                       ) -> tuple[list, ExecutionPlan]:
-    """Plan the solve requests, run them plus the passthrough tasks in
-    one :meth:`BatchRunner.run` fan-out, and return per-cell outcomes."""
-    plan = plan_requests(requests, fuse=config.fuse)
-    outcomes = (runner or config.runner()).run(plan.tasks + list(tasks))
-    scattered = plan.scatter(outcomes[:plan.n_tasks])
-    return scattered + outcomes[plan.n_tasks:], plan
+    """Run the solve requests plus the passthrough tasks in one
+    :meth:`SolveService.execute` fan-out; returns per-cell outcomes."""
+    result = (service or config.service()).execute(requests, tasks)
+    return result.all_outcomes, result.plan
 
 
 def _steps_column(config: ExperimentConfig, g: int, kind: str,
@@ -319,11 +333,11 @@ def _assemble_steps_table(config: ExperimentConfig, kind: str,
 
 
 def run_steps_table(config: ExperimentConfig, kind: str,
-                    runner: BatchRunner | None = None) -> StepTable:
+                    service: SolveService | None = None) -> StepTable:
     """Reproduce a step table (Table 1 for ``kind='UA'``, Table 2 for
-    ``'UR'``) by planning one cell per ``(G, column)`` over ``runner``."""
+    ``'UR'``) by planning one cell per ``(G, column)`` over ``service``."""
     requests, tasks = _steps_table_workload(config, kind)
-    outcomes, _ = _execute_workload(config, requests, tasks, runner)
+    outcomes, _ = _execute_workload(config, requests, tasks, service)
     return _assemble_steps_table(config, kind, outcomes)
 
 
@@ -393,41 +407,41 @@ def _assemble_timing_table(config: ExperimentConfig, kind: str,
 
 
 def run_timing_table(config: ExperimentConfig, kind: str,
-                     runner: BatchRunner | None = None) -> TimingTable:
+                     service: SolveService | None = None) -> TimingTable:
     """Reproduce a CPU-time figure (Figure 3 for ``'UA'``, 4 for ``'UR'``)
-    by fanning one task per ``(G, method)`` series over ``runner``.
+    by fanning one task per ``(G, method)`` series over ``service``.
 
     Cells are timed inside the worker; oversubscribed pools inflate the
     absolute seconds, so keep ``workers`` within the physical core count
     when the numbers (rather than just the shapes) matter.
     """
     tasks = _timing_table_tasks(config, kind)
-    outcomes = (runner or config.runner()).run(tasks)
+    outcomes, _ = _execute_workload(config, [], tasks, service)
     return _assemble_timing_table(config, kind, outcomes)
 
 
 def run_table1(config: ExperimentConfig | None = None,
-               runner: BatchRunner | None = None) -> StepTable:
+               service: SolveService | None = None) -> StepTable:
     """Paper Table 1 (steps, UA)."""
-    return run_steps_table(config or ExperimentConfig(), "UA", runner)
+    return run_steps_table(config or ExperimentConfig(), "UA", service)
 
 
 def run_table2(config: ExperimentConfig | None = None,
-               runner: BatchRunner | None = None) -> StepTable:
+               service: SolveService | None = None) -> StepTable:
     """Paper Table 2 (steps, UR)."""
-    return run_steps_table(config or ExperimentConfig(), "UR", runner)
+    return run_steps_table(config or ExperimentConfig(), "UR", service)
 
 
 def run_figure3(config: ExperimentConfig | None = None,
-                runner: BatchRunner | None = None) -> TimingTable:
+                service: SolveService | None = None) -> TimingTable:
     """Paper Figure 3 (CPU times, UA)."""
-    return run_timing_table(config or ExperimentConfig(), "UA", runner)
+    return run_timing_table(config or ExperimentConfig(), "UA", service)
 
 
 def run_figure4(config: ExperimentConfig | None = None,
-                runner: BatchRunner | None = None) -> TimingTable:
+                service: SolveService | None = None) -> TimingTable:
     """Paper Figure 4 (CPU times, UR)."""
-    return run_timing_table(config or ExperimentConfig(), "UR", runner)
+    return run_timing_table(config or ExperimentConfig(), "UR", service)
 
 
 def _ur_requests(config: ExperimentConfig) -> list[SolveRequest]:
@@ -455,12 +469,36 @@ def _assemble_ur(outcomes
 
 
 def run_ur_values(config: ExperimentConfig | None = None,
-                  runner: BatchRunner | None = None
+                  service: SolveService | None = None
                   ) -> tuple[dict[int, list[float]], dict[int, list[int]]]:
     """In-text UR(t) values and RRL abscissa counts, per model size."""
     config = config or ExperimentConfig()
-    outcomes, _ = _execute_workload(config, _ur_requests(config), [], runner)
+    outcomes, _ = _execute_workload(config, _ur_requests(config), [],
+                                    service)
     return _assemble_ur(outcomes)
+
+
+def grid_solve_requests(config: ExperimentConfig | None = None
+                        ) -> list[SolveRequest]:
+    """Every solve-shaped cell of the evaluation grid, as portable
+    requests.
+
+    This is the unit of work the service/queue layer transports: the
+    RRL/RSD step columns of Tables 1–2 plus the UR value sweep. The
+    analytic SR column (computed, not solved) and the timing cells
+    (which must pay their own standalone setup inside one process) are
+    process-local passthroughs and deliberately stay out. Submitting
+    these to a :class:`~repro.service.queue.JobQueue` and collecting is
+    bit-identical to :func:`run_grid`'s in-process execution of the same
+    cells.
+    """
+    config = config or ExperimentConfig()
+    requests: list[SolveRequest] = []
+    for kind in ("UA", "UR"):
+        kind_requests, _ = _steps_table_workload(config, kind)
+        requests += kind_requests
+    requests += _ur_requests(config)
+    return requests
 
 
 @dataclass
@@ -503,16 +541,16 @@ class GridResult:
 
 
 def run_grid(config: ExperimentConfig | None = None,
-             runner: BatchRunner | None = None,
+             service: SolveService | None = None,
              include_timings: bool = True) -> GridResult:
-    """Run the full evaluation grid through one planned batch fan-out.
+    """Run the full evaluation grid through one service fan-out.
 
     Every column of Tables 1–2, the UR value sweep, and (optionally)
     every series of Figures 3–4 becomes one cell. Solve cells are
-    compiled by the fusion planner first (with ``config.fuse``), so e.g.
-    the Table 2 RR/RRL column and the UR sweep coalesce into one solve
-    per ``G``; then a single :meth:`BatchRunner.run` call executes the
-    whole plan, keeping ``k`` workers' worth of columns in flight.
+    compiled by the fusion planner (with ``config.fuse``), so e.g. the
+    Table 2 RR/RRL column and the UR sweep coalesce into one solve per
+    ``G``; then a single :meth:`SolveService.execute` call runs the
+    whole workload, keeping ``k`` workers' worth of columns in flight.
     """
     config = config or ExperimentConfig()
     requests: list[SolveRequest] = []
@@ -525,7 +563,7 @@ def run_grid(config: ExperimentConfig | None = None,
     if include_timings:
         tasks += _timing_table_tasks(config, "UA")
         tasks += _timing_table_tasks(config, "UR")
-    outcomes, plan = _execute_workload(config, requests, tasks, runner)
+    outcomes, plan = _execute_workload(config, requests, tasks, service)
     by_kind: dict[str, list] = {}
     for out in outcomes:
         by_kind.setdefault((out.key[0], out.key[1]) if out.key[0] != "ur"

@@ -4,6 +4,12 @@ Keeps a registry of solver factories keyed by the short method tags the
 paper uses (``"RRL"``, ``"RR"``, ``"SR"``, ``"RSD"``, plus the extras
 ``"AU"`` and ``"ODE"``), so scripts and the experiment harness can select
 methods by name.
+
+This stays the right call for *one ad-hoc solve of a live model*. For
+anything batch-shaped — grids, sweeps, queued work — the canonical API is
+:class:`repro.service.service.SolveService` with declarative
+:class:`~repro.batch.planner.SolveRequest` cells: same numbers, plus
+coalescing, fusion, kernel caching and a serializable wire form.
 """
 
 from __future__ import annotations

@@ -18,6 +18,11 @@ Four layers, each usable on its own:
   per-task timeouts, structured failure capture and deterministic result
   ordering.
 
+These are the substrate layers; application code should normally enter
+through :class:`repro.service.service.SolveService` (the canonical
+facade wrapping planner → runner → scatter) rather than wiring the
+planner and runner together by hand.
+
 The package ``__init__`` resolves attributes lazily: the kernel is imported
 *by* the solver modules (``repro.markov.standard`` etc.), so eagerly
 importing the scenario generator here — which pulls in ``repro.models`` and

@@ -27,8 +27,16 @@ picklable — scenario-backed requests ship only the scenario description;
 model-backed requests ship the CSR once per task.
 
 ``SolveRequest`` is deliberately transport-shaped (plain data + a registry
-method tag): it is the unit of work a future sharded job-queue service
-would put on the wire.
+method tag): it is the unit of work the service layer puts on the wire
+(:mod:`repro.service.protocol` gives it a versioned JSON form;
+:class:`repro.service.queue.JobQueue` journals it).
+
+.. deprecated::
+    :func:`execute_requests` / :func:`solve_requests` remain as the thin
+    planner-level plumbing, but application code should route through
+    :class:`repro.service.service.SolveService` — the canonical facade
+    that owns planner policy, pool shape and scatter bookkeeping (and is
+    bit-for-bit identical to calling these functions directly).
 """
 
 from __future__ import annotations

@@ -182,21 +182,24 @@ def scenario_requests(scenarios: Iterable[Scenario],
 
 def solve_scenarios(scenarios: Iterable[Scenario],
                     methods: Sequence[str] = ("RRL",),
-                    runner=None,
+                    service=None,
                     *,
                     fuse: bool = True) -> list:
-    """Solve a scenario sweep through the fusion planner.
+    """Solve a scenario sweep through the
+    :class:`~repro.service.service.SolveService` facade.
 
     Scenarios sharing a model fuse (SR/RSD) or at least share a
     per-worker kernel; returns one
     :class:`~repro.batch.runner.BatchOutcome` per (scenario, method) in
     order. ``fuse=False`` plans one task per cell — same numbers, paying
-    the per-cell stepping price.
+    the per-cell stepping price (ignored when ``service`` is given: the
+    service carries its own planner policy).
     """
-    from repro.batch.planner import execute_requests
+    from repro.service.service import SolveService
 
-    return execute_requests(scenario_requests(scenarios, methods),
-                            runner, fuse=fuse)
+    if service is None:
+        service = SolveService(fuse=fuse)
+    return service.solve(scenario_requests(scenarios, methods))
 
 
 def _raid5_scenarios(times: tuple[float, ...], eps: float

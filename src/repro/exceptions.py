@@ -45,3 +45,13 @@ class TruncationError(ReproError):
 
 class InversionError(ReproError):
     """The numerical Laplace transform inversion failed or became unstable."""
+
+
+class ProtocolError(ReproError):
+    """A wire-protocol payload is malformed, of an unsupported schema
+    version, or contains values that cannot be serialized."""
+
+
+class QueueError(ReproError):
+    """A job-queue operation is invalid for the queue's current state
+    (unknown job id, collecting an incomplete queue, corrupt journal)."""

@@ -1,0 +1,133 @@
+"""``SolveService`` — the one front door for executing solve workloads.
+
+Before this facade existed the public API was three disjoint surfaces:
+per-solver ``solve(...)``, :func:`repro.analysis.runner.solve`, and the
+planner's ``execute_requests``. ``SolveService`` is the canonical
+replacement for the batch-shaped ones: it owns the planner policy
+(coalescing + fusion), the :class:`~repro.batch.runner.BatchRunner` pool
+it executes on (and with it the per-worker kernel-cache behaviour), and
+the scatter bookkeeping that maps task results back onto requests — so
+``analysis``, ``batch.scenarios``, the CLI and the scripts never touch
+planner or runner internals again.
+
+The facade adds no numerics of its own: ``SolveService(...).solve(reqs)``
+is bit-for-bit identical to the old ``execute_requests(reqs, runner)``
+plumbing (pinned by ``tests/service/test_service.py`` and measured by
+``benchmarks/bench_batch.py``), which is what makes it safe for every
+consumer to route through it unconditionally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.batch.planner import ExecutionPlan, plan_requests, SolveRequest
+from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
+from repro.markov.base import TransientSolution
+
+__all__ = ["SolveService", "ServiceResult"]
+
+
+@dataclass
+class ServiceResult:
+    """Everything one :meth:`SolveService.execute` fan-out produced.
+
+    ``outcomes`` holds one :class:`~repro.batch.runner.BatchOutcome` per
+    submitted request, in submission order, however the plan coalesced or
+    fused the work; ``task_outcomes`` holds one outcome per passthrough
+    task, in task order.
+    """
+
+    outcomes: list[BatchOutcome]
+    task_outcomes: list[BatchOutcome]
+    plan: ExecutionPlan
+
+    @property
+    def all_outcomes(self) -> list[BatchOutcome]:
+        """Request outcomes followed by passthrough-task outcomes."""
+        return self.outcomes + self.task_outcomes
+
+    def solutions(self) -> list[TransientSolution]:
+        """Unwrapped per-request values (raises on the first failure)."""
+        return [o.unwrap() for o in self.outcomes]
+
+
+class SolveService:
+    """Facade wrapping planner → runner → scatter behind one call.
+
+    Parameters
+    ----------
+    workers, chunk_size, task_timeout, mp_context:
+        Pool shape, forwarded to the internally-built
+        :class:`~repro.batch.runner.BatchRunner` (ignored when ``runner``
+        is given). The default ``workers=1`` runs everything inline with
+        identical numbers.
+    fuse:
+        Planner policy: coalesce duplicates and fuse SR/RSD cells sharing
+        a model (default). ``False`` plans one task per request — same
+        numbers, per-cell stepping price — which is the A/B baseline the
+        verify paths compare against.
+    runner:
+        A pre-built runner to execute on instead (e.g. one shared across
+        several services).
+    """
+
+    def __init__(self,
+                 *,
+                 workers: int = 1,
+                 chunk_size: int = 1,
+                 task_timeout: float | None = None,
+                 mp_context: str | None = None,
+                 fuse: bool = True,
+                 runner: BatchRunner | None = None) -> None:
+        if runner is None:
+            runner = BatchRunner(max_workers=workers,
+                                 chunk_size=chunk_size,
+                                 task_timeout=task_timeout,
+                                 mp_context=mp_context)
+        self._runner = runner
+        self._fuse = bool(fuse)
+
+    @property
+    def fuse(self) -> bool:
+        """Whether this service compiles requests through the fusion
+        planner."""
+        return self._fuse
+
+    @property
+    def runner(self) -> BatchRunner:
+        """The runner this service executes on."""
+        return self._runner
+
+    def plan(self, requests: Iterable[SolveRequest]) -> ExecutionPlan:
+        """Compile requests under this service's planner policy (without
+        executing — useful for cost inspection and ``plan.summary()``)."""
+        return plan_requests(requests, fuse=self._fuse)
+
+    def execute(self,
+                requests: Iterable[SolveRequest],
+                tasks: Sequence[BatchTask] = ()) -> ServiceResult:
+        """Run a mixed workload in one pool fan-out.
+
+        ``requests`` are compiled by the planner; ``tasks`` are opaque
+        passthroughs (analytic columns, timing cells) appended to the
+        same :meth:`~repro.batch.runner.BatchRunner.run` call so the
+        whole workload shares the worker pool.
+        """
+        requests = list(requests)
+        tasks = list(tasks)
+        plan = plan_requests(requests, fuse=self._fuse)
+        outcomes = self._runner.run(plan.tasks + tasks)
+        return ServiceResult(
+            outcomes=plan.scatter(outcomes[:plan.n_tasks]),
+            task_outcomes=outcomes[plan.n_tasks:],
+            plan=plan)
+
+    def solve(self, requests: Iterable[SolveRequest]) -> list[BatchOutcome]:
+        """One outcome per request, in submission order."""
+        return self.execute(requests).outcomes
+
+    def solve_one(self, request: SolveRequest) -> TransientSolution:
+        """Execute a single request and unwrap its solution."""
+        return self.solve([request])[0].unwrap()

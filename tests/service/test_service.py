@@ -1,0 +1,143 @@
+"""``SolveService`` facade: bit-identical to the planner plumbing it
+replaces, correct scatter/ordering for mixed workloads, and proper plan
+policy plumbing (fuse on/off, custom runners)."""
+
+import numpy as np
+import pytest
+
+from repro.batch.planner import SolveRequest, execute_requests
+from repro.batch.runner import BatchExecutionError, BatchRunner, BatchTask
+from repro.batch.scenarios import Scenario
+from repro.markov.base import TransientSolution
+from repro.markov.rewards import Measure
+from repro.service import ServiceResult, SolveService
+
+
+def _scenario(name="svc-bd", n=8, birth=0.5, death=1.5):
+    return Scenario(name=name, family="birth_death",
+                    params={"n": n, "birth": birth, "death": death},
+                    times=(0.5, 2.0), eps=1e-8)
+
+
+def _requests():
+    s = _scenario()
+    out = []
+    for i, method in enumerate(("SR", "SR", "RSD", "RRL")):
+        out.append(SolveRequest(scenario=s, measure=Measure.TRR,
+                                times=s.times, eps=1e-8 * 10.0 ** -(i % 2),
+                                method=method, key=(method, i)))
+    return out
+
+
+def _passthrough(tag):
+    return tag * 2
+
+
+class TestFacadeEquivalence:
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_bit_identical_to_execute_requests(self, fuse):
+        requests = _requests()
+        direct = execute_requests(requests, BatchRunner(max_workers=1),
+                                  fuse=fuse)
+        via_service = SolveService(fuse=fuse).solve(requests)
+        assert [o.key for o in via_service] == [o.key for o in direct]
+        for a, b in zip(via_service, direct):
+            assert a.ok and b.ok
+            assert np.array_equal(a.value.values, b.value.values)
+            assert np.array_equal(a.value.steps, b.value.steps)
+
+    def test_fused_equals_unfused_through_facade(self):
+        requests = _requests()
+        fused = SolveService(fuse=True).solve(requests)
+        unfused = SolveService(fuse=False).solve(requests)
+        for a, b in zip(fused, unfused):
+            assert np.array_equal(a.value.values, b.value.values)
+
+
+class TestMixedWorkload:
+    def test_execute_separates_requests_and_tasks(self):
+        requests = _requests()
+        tasks = [BatchTask(fn=_passthrough, args=("x",), key="t0"),
+                 BatchTask(fn=_passthrough, args=("y",), key="t1")]
+        result = SolveService().execute(requests, tasks)
+        assert isinstance(result, ServiceResult)
+        assert [o.key for o in result.outcomes] \
+            == [r.key for r in requests]
+        assert [o.key for o in result.task_outcomes] == ["t0", "t1"]
+        assert [o.value for o in result.task_outcomes] == ["xx", "yy"]
+        assert result.all_outcomes \
+            == result.outcomes + result.task_outcomes
+        assert result.plan.n_requests == len(requests)
+
+    def test_solutions_unwraps_in_order(self):
+        result = SolveService().execute(_requests())
+        sols = result.solutions()
+        assert all(isinstance(s, TransientSolution) for s in sols)
+
+    def test_solutions_raises_on_failure(self):
+        bad = SolveRequest(scenario=_scenario(), measure=Measure.TRR,
+                           times=(0.5,), eps=1e-8, method="SR",
+                           solver_kwargs={"max_steps": 2}, key="doomed")
+        result = SolveService().execute([bad])
+        assert not result.outcomes[0].ok
+        assert result.outcomes[0].error_type == "TruncationError"
+        with pytest.raises(BatchExecutionError, match="TruncationError"):
+            result.solutions()
+
+
+class TestConfigurationPlumbing:
+    def test_solve_one(self):
+        request = _requests()[0]
+        sol = SolveService().solve_one(request)
+        assert isinstance(sol, TransientSolution)
+        assert sol.method == "SR"
+
+    def test_plan_reports_policy(self):
+        service = SolveService(fuse=True)
+        plan = service.plan(_requests())
+        assert plan.fuse_enabled
+        assert "fusion on" in plan.summary()
+        assert not SolveService(fuse=False).plan(_requests()).fuse_enabled
+
+    def test_properties_and_custom_runner(self):
+        runner = BatchRunner(max_workers=1, chunk_size=3)
+        service = SolveService(runner=runner, fuse=False)
+        assert service.runner is runner
+        assert service.fuse is False
+
+    def test_pooled_matches_inline(self):
+        requests = _requests()
+        inline = SolveService(workers=1).solve(requests)
+        pooled = SolveService(workers=2).solve(requests)
+        for a, b in zip(inline, pooled):
+            assert a.ok and b.ok
+            assert np.array_equal(a.value.values, b.value.values)
+
+
+class TestExperimentsIntegration:
+    def test_run_grid_accepts_explicit_service(self):
+        from repro.analysis.experiments import ExperimentConfig, run_grid
+
+        cfg = ExperimentConfig(groups=(2,), times=(1.0, 10.0))
+        default = run_grid(cfg, include_timings=False)
+        explicit = run_grid(cfg, SolveService(workers=1, fuse=True),
+                            include_timings=False)
+        assert explicit.table1.columns == default.table1.columns
+        assert explicit.table2.columns == default.table2.columns
+        assert explicit.ur_values == default.ur_values
+
+    def test_config_service_carries_policy(self):
+        from repro.analysis.experiments import ExperimentConfig
+
+        cfg = ExperimentConfig(groups=(2,), times=(1.0,), workers=2,
+                               fuse=False)
+        service = cfg.service()
+        assert service.fuse is False
+        assert service.runner.max_workers == 2
+
+    def test_quick_preset(self):
+        from repro.analysis.experiments import ExperimentConfig
+
+        cfg = ExperimentConfig.quick()
+        assert cfg.groups == (2, 3)
+        assert cfg.eps == 1e-10
