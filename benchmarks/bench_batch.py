@@ -152,6 +152,116 @@ def test_shared_model_fused_vs_unfused(benchmark):
             f"{unfused_seconds:.2f}s on a shared-model grid")
 
 
+def _regenerative_grid_requests(n_cells: int = 10) -> list[SolveRequest]:
+    """An RR/RRL grid that is wide in cells but has ONE model: the shape
+    schedule memoization exists for. Cells vary horizon, eps and
+    solution-phase knobs — everything the memo is allowed to vary."""
+    n = 2500
+    scenario = Scenario(name="bd-regen", family="birth_death",
+                        params={"n": n, "birth": 1.0, "death": 1.5},
+                        times=(100.0,), eps=1e-10)
+    requests = []
+    for i in range(n_cells):
+        t = 60.0 * (i + 1)
+        method = "RR" if i == n_cells - 1 else "RRL"
+        kwargs = {"t_factor": 4.0} if i % 3 == 2 else {}
+        requests.append(SolveRequest(
+            scenario=scenario, measure=Measure.TRR, times=(t,),
+            eps=1e-10 * 10.0 ** -(i % 2), method=method,
+            solver_kwargs=kwargs, key=i))
+    return requests
+
+
+def schedule_memoization_measurements(n_cells: int = 10) -> dict:
+    """Cold-vs-warm measurement of the RR/RRL schedule memo (used by the
+    benchmark below and by CI's stats artifact).
+
+    Returns wall-clock seconds, cache-hit statistics and the per-cell
+    ``TransientSolution.stats`` cache fields; asserts cold == warm bit
+    for bit before reporting anything.
+    """
+    from repro.batch.planner import plan_requests
+    from repro.core.schedule_cache import process_schedule_cache_info
+
+    requests = _regenerative_grid_requests(n_cells)
+    predicted_builds = plan_requests(requests).schedule_builds()
+    inline = BatchRunner(max_workers=1)
+
+    # Cold: every cell rebuilds its K+L transformation.
+    worker_cache_clear()
+    t0 = time.perf_counter()
+    cold = execute_requests(requests, inline, memoize=False)
+    cold_seconds = time.perf_counter() - t0
+    assert process_schedule_cache_info()["misses"] == 0
+
+    # Warm: the first cell builds, every later cell extends the shared
+    # transformation.
+    worker_cache_clear()
+    t0 = time.perf_counter()
+    warm = execute_requests(requests, inline, memoize=True)
+    warm_seconds = time.perf_counter() - t0
+    cache_info = process_schedule_cache_info()
+
+    for a, b in zip(warm, cold):
+        assert a.ok and b.ok, (a.error, b.error)
+        assert np.array_equal(a.value.values, b.value.values)
+        assert np.array_equal(a.value.steps, b.value.steps)
+    cells = [{"key": o.key,
+              "method": o.value.method,
+              "schedule_cache_hit": o.value.stats["schedule_cache_hit"],
+              "transformation_steps": int(
+                  o.value.stats["transformation_steps"]),
+              "transformation_steps_reused": int(
+                  o.value.stats["transformation_steps_reused"])}
+             for o in warm]
+    # The plan's fingerprint-hook prediction must match what the cache
+    # actually built.
+    assert cache_info["misses"] == predicted_builds
+    return {"n_cells": len(requests),
+            "predicted_builds": predicted_builds,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cache": cache_info,
+            "cells": cells,
+            "bit_identical": True}
+
+
+def test_rr_schedule_memoization(benchmark):
+    """The memoization acceptance case: on a shared-model RR/RRL grid the
+    planner must (a) build the schedule transformation once per worker
+    instead of once per cell, (b) keep every number bit-identical, and
+    (c) cut wall-clock by not re-stepping the K+L phase per cell."""
+    result = benchmark.pedantic(
+        lambda: schedule_memoization_measurements(), rounds=1,
+        iterations=1)
+
+    cache = result["cache"]
+    assert cache["misses"] == 1, cache
+    assert cache["hits"] == result["n_cells"] - 1, cache
+    hits = [c["schedule_cache_hit"] for c in result["cells"]]
+    assert hits == [False] + [True] * (result["n_cells"] - 1)
+    # Warm cells only ever *extend*: total charged steps across the grid
+    # equal one build to the deepest horizon, not a per-cell rebuild.
+    charged = sum(c["transformation_steps"] for c in result["cells"])
+    deepest = max(c["transformation_steps"]
+                  + c["transformation_steps_reused"]
+                  for c in result["cells"])
+    assert charged == deepest
+
+    print(f"\nschedule memo ({result['n_cells']} RR/RRL cells, one "
+          f"model): cold {result['cold_seconds']:.2f}s "
+          f"(per-cell K+L), warm {result['warm_seconds']:.2f}s "
+          f"({cache['misses']} build + {cache['hits']} hits)")
+    # The warm run does strictly less work (one K+L stepping pass instead
+    # of one per cell); only skip the comparison when the grid is too
+    # fast to time at all.
+    if result["cold_seconds"] > 0.05:
+        assert result["warm_seconds"] < result["cold_seconds"], (
+            f"memoized {result['warm_seconds']:.2f}s not faster than "
+            f"unmemoized {result['cold_seconds']:.2f}s on a shared-model "
+            "RR/RRL grid")
+
+
 def test_service_facade_overhead(benchmark):
     """The service acceptance case: routing a grid through the
     ``SolveService`` facade (and even through the on-disk ``JobQueue``)

@@ -52,8 +52,10 @@ def _default_workers() -> int:
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
     workers = 1 if args.serial else args.workers
     if args.quick:
-        return ExperimentConfig.quick(workers=workers, fuse=args.fuse)
-    return ExperimentConfig.paper(workers=workers, fuse=args.fuse)
+        return ExperimentConfig.quick(workers=workers, fuse=args.fuse,
+                                      memoize=args.memoize)
+    return ExperimentConfig.paper(workers=workers, fuse=args.fuse,
+                                  memoize=args.memoize)
 
 
 def _assert_grids_equal(reference: GridResult, other: GridResult,
@@ -86,18 +88,21 @@ def verify_service_queue(config: ExperimentConfig) -> None:
     queue == in-process(policy) == serial unfused.
     """
     requests = grid_solve_requests(config)
-    reference = SolveService(workers=1, fuse=config.fuse).solve(requests)
+    reference = SolveService(workers=1, fuse=config.fuse,
+                             memoize=config.memoize).solve(requests)
     with tempfile.TemporaryDirectory(prefix="repro-queue-") as tmp:
         queue = JobQueue(tmp)
         queue.submit(requests)
         # First half, one fsync per job, then "kill" the process state.
-        queue.run(SolveService(workers=config.workers, fuse=config.fuse),
+        queue.run(SolveService(workers=config.workers, fuse=config.fuse,
+                               memoize=config.memoize),
                   limit=len(requests) // 2, checkpoint=1)
         del queue
         resumed = JobQueue.resume(tmp)
         n_pending = len(resumed.pending())
         resumed.run(SolveService(workers=config.workers,
-                                 fuse=config.fuse))
+                                 fuse=config.fuse,
+                                 memoize=config.memoize))
         outcomes = resumed.collect()
     if len(outcomes) != len(requests):
         raise AssertionError(
@@ -121,22 +126,26 @@ def verify_service_queue(config: ExperimentConfig) -> None:
 
 
 def verify_executions(config: ExperimentConfig, result: GridResult) -> None:
-    """Assert fused == unfused == serial, bit for bit — and that the
-    service/queue path (including a kill/resume cycle) reproduces the
-    serial run exactly.
+    """Assert fused == unfused == serial — and memoized == unmemoized —
+    bit for bit, plus that the service/queue path (including a
+    kill/resume cycle) reproduces the serial run exactly.
 
     Alternate configurations equal to the main run (or to each other —
     e.g. under ``--serial`` the "unfused" and "serial unfused" runs are
     the same thing) are executed only once.
     """
     this = "fused" if config.fuse else "unfused"
-    this += " serial" if config.workers == 1 else " pooled"
+    this += ", memoized" if config.memoize else ", unmemoized"
+    this += ", serial" if config.workers == 1 else ", pooled"
+    pool = "serial" if config.workers == 1 else "pooled"
     candidates = [
-        (f"{this} vs unfused "
-         f"{'serial' if config.workers == 1 else 'pooled'}",
+        (f"{this} vs unfused {pool}",
          dataclasses.replace(config, fuse=False)),
-        (f"{this} vs serial unfused",
-         dataclasses.replace(config, workers=1, fuse=False)),
+        (f"{this} vs unmemoized {pool}",
+         dataclasses.replace(config, memoize=False)),
+        (f"{this} vs serial unfused unmemoized",
+         dataclasses.replace(config, workers=1, fuse=False,
+                             memoize=False)),
     ]
     ran: list[ExperimentConfig] = []
     for label, alt_config in candidates:
@@ -167,6 +176,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(default)")
     parser.add_argument("--no-fuse", dest="fuse", action="store_false",
                         help="one task per cell, no coalescing/fusion")
+    parser.add_argument("--no-memoize", dest="memoize",
+                        action="store_false", default=True,
+                        help="disable the per-worker RR/RRL schedule-"
+                             "transformation cache")
     parser.add_argument("--no-timings", action="store_true",
                         help="skip the Figure 3/4 timing sweeps")
     parser.add_argument("--verify", action="store_true",
@@ -181,6 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     config = make_config(args)
     mode = "serial" if config.workers == 1 else f"{config.workers} workers"
     mode += ", fused" if config.fuse else ", unfused"
+    mode += ", memoized" if config.memoize else ", unmemoized"
     print(f"== paper grid ({'quick' if args.quick else 'paper'} scale, "
           f"{mode}) ==", flush=True)
     if not args.no_timings and config.workers > 1:
@@ -210,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
         payload["elapsed_seconds"] = elapsed
         payload["workers"] = config.workers
         payload["fused"] = config.fuse
+        payload["memoized"] = config.memoize
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}", flush=True)

@@ -49,8 +49,10 @@ from repro.exceptions import (
     ModelError,
     ProtocolError,
     QueueError,
+    RegistryError,
     ReproError,
     TruncationError,
+    UnknownMethodError,
 )
 from repro.markov import (
     CTMC,
@@ -71,31 +73,40 @@ from repro.core import (
     RegenerativeRandomizationSolver,
     RRLBoundsSolver,
     RRLSolver,
+    ScheduleCache,
 )
+from repro.solvers.registry import SolverSpec
 from repro.batch.kernel import UniformizationKernel
 from repro.batch.planner import SolveRequest
 from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
 from repro.batch.scenarios import Scenario, generate_scenarios
 from repro.service import JobQueue, ServiceResult, SolveService
 
-# 2.0.0: the service layer became the canonical batch API, and the
-# pre-existing ``runner=BatchRunner(...)`` parameters of the experiment
-# harness were removed (breaking) in its favour — hence the major bump.
-__version__ = "2.0.0"
+# 2.1.0: the capability-declaring solver registry
+# (``repro.solvers.registry``) became the one dispatch authority — every
+# solver self-registers a SolverSpec, and the runner, planner, protocol
+# and CLI resolve method tags through it — and RR/RRL gained cross-cell
+# schedule-transformation memoization (``ScheduleCache``). Additive:
+# 2.0 call sites keep working (``FUSABLE_METHODS`` /
+# ``KERNEL_AWARE_METHODS`` remain as deprecated registry-derived
+# aliases).
+__version__ = "2.1.0"
 
 __all__ = [
     "__version__",
     # errors
     "ReproError", "ModelError", "MeasureError", "ConvergenceError",
     "TruncationError", "InversionError", "ProtocolError", "QueueError",
+    "UnknownMethodError", "RegistryError",
     # substrate
     "CTMC", "DTMC", "RewardStructure", "Measure", "TRR", "MRR",
     "TransientSolution",
-    # solvers
+    # solvers + registry
     "RRLSolver", "RegenerativeRandomizationSolver",
     "StandardRandomizationSolver", "SteadyStateDetectionSolver",
     "AdaptiveUniformizationSolver", "OdeSolver",
     "MultistepRandomizationSolver", "RRLBoundsSolver", "BoundedSolution",
+    "SolverSpec", "ScheduleCache",
     # batch subsystem
     "UniformizationKernel", "BatchRunner", "BatchTask", "BatchOutcome",
     "Scenario", "generate_scenarios", "SolveRequest",

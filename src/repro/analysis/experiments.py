@@ -58,11 +58,12 @@ from repro.batch.planner import ExecutionPlan, SolveRequest
 from repro.batch.runner import BatchTask
 from repro.service.service import SolveService
 from repro.batch.scenarios import Scenario
-from repro.exceptions import TruncationError
+from repro.exceptions import RegistryError, TruncationError
 from repro.markov.base import TransientSolution
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
 from repro.markov.standard import sr_required_steps
+from repro.solvers.registry import SolverSpec, get_spec
 from repro.models.raid5 import (
     Raid5Params,
     build_raid5_availability,
@@ -139,23 +140,30 @@ class ExperimentConfig:
     """Compile solve columns through the fusion planner (coalescing +
     per-worker kernel cache); False plans one task per cell. Either way
     the numbers are identical — this is an execution knob."""
+    memoize: bool = True
+    """Let RR/RRL cells share the schedule transformation through each
+    worker's :class:`~repro.core.schedule_cache.ScheduleCache`; False
+    rebuilds per cell. Either way the numbers are identical — this is an
+    execution knob."""
 
     @classmethod
     def paper(cls, *, sr_step_budget: int = 10_000_000,
               rr_inner_budget: int = 10_000_000,
-              workers: int = 1, fuse: bool = True) -> "ExperimentConfig":
+              workers: int = 1, fuse: bool = True,
+              memoize: bool = True) -> "ExperimentConfig":
         """The paper's exact grid (G ∈ {20,40}, t up to 10⁵ h)."""
         return cls(groups=PAPER_GROUPS, times=PAPER_TIMES,
                    sr_step_budget=sr_step_budget,
                    rr_inner_budget=rr_inner_budget,
-                   workers=workers, fuse=fuse)
+                   workers=workers, fuse=fuse, memoize=memoize)
 
     @classmethod
-    def quick(cls, *, workers: int = 1,
-              fuse: bool = True) -> "ExperimentConfig":
+    def quick(cls, *, workers: int = 1, fuse: bool = True,
+              memoize: bool = True) -> "ExperimentConfig":
         """A seconds-scale smoke grid (CI, queue end-to-end tests)."""
         return cls(groups=(2, 3), times=(1.0, 10.0, 100.0), eps=1e-10,
-                   sr_step_budget=200_000, workers=workers, fuse=fuse)
+                   sr_step_budget=200_000, workers=workers, fuse=fuse,
+                   memoize=memoize)
 
     def service(self) -> SolveService:
         """The :class:`~repro.service.service.SolveService` this
@@ -166,12 +174,30 @@ class ExperimentConfig:
         """
         return SolveService(workers=self.workers,
                             chunk_size=self.chunk_size,
-                            fuse=self.fuse)
+                            fuse=self.fuse,
+                            memoize=self.memoize)
 
     def params_for(self, g: int) -> Raid5Params:
         """RAID parameters for group count ``g`` (other knobs fixed)."""
         return Raid5Params(groups=g, spare_disks=self.spare_disks,
                            spare_controllers=self.spare_controllers)
+
+    def step_budget_for(self, spec: SolverSpec) -> int | None:
+        """This configuration's inner-step budget for one solver, keyed
+        on the spec's declared budget kwarg (``None`` for methods whose
+        cost does not grow with ``Λt``)."""
+        if spec.step_budget_kwarg is None:
+            return None
+        budgets = {"max_steps": self.sr_step_budget,
+                   "inner_max_steps": self.rr_inner_budget}
+        try:
+            return budgets[spec.step_budget_kwarg]
+        except KeyError:
+            raise RegistryError(
+                f"solver {spec.name!r} declares step_budget_kwarg="
+                f"{spec.step_budget_kwarg!r}, which ExperimentConfig has "
+                "no budget field for; teach step_budget_for the mapping "
+                "before running timing sweeps with this method") from None
 
 
 @dataclass
@@ -265,32 +291,34 @@ def _steps_column(config: ExperimentConfig, g: int, kind: str,
                   column: str) -> list[int]:
     """One analytic step-table column (module-level: pool-picklable).
 
-    Only the SR column comes through here: its step count is *computed*
-    from the Poisson quantile (running SR is not needed to know it). The
+    Only methods whose :class:`~repro.solvers.registry.SolverSpec`
+    declares a ``predict_steps`` hook come through here (SR: the Poisson
+    quantile — running the solver is not needed to know its cost). The
     measured columns — RR/RRL (identical transformation phases) and
     RSD's detection loop — are solve-shaped and flow through the planner
     as :class:`SolveRequest` cells instead.
     """
-    if column != "SR":
-        raise ValueError(f"unknown analytic step column {column!r}")
+    predict = get_spec(column).predict_steps
+    if predict is None:
+        raise ValueError(f"method {column!r} has no analytic step count")
     model, rewards = _build(config, g, kind)
     lam = model.max_output_rate
-    return [sr_required_steps(lam * t, config.eps / rewards.max_rate,
-                              Measure.TRR) - 1
+    return [predict(lam * t, config.eps / rewards.max_rate,
+                    Measure.TRR) - 1
             for t in config.times]
 
 
 def _steps_table_workload(config: ExperimentConfig, kind: str
                           ) -> tuple[list[SolveRequest], list[BatchTask]]:
-    """Solve requests (RRL/RSD columns) + passthrough tasks (analytic SR
-    column) for one step table."""
+    """Solve requests (RRL/RSD columns) + passthrough tasks (analytic
+    columns) for one step table."""
     comparator = "RSD" if kind == "UA" else "SR"
     requests: list[SolveRequest] = []
     tasks: list[BatchTask] = []
     for g in config.groups:
         for column in ("RRL", comparator):
             key = ("steps", kind, g, column)
-            if column == "SR":
+            if get_spec(column).predict_steps is not None:
                 tasks.append(BatchTask(fn=_steps_column,
                                        args=(config, g, kind, column),
                                        key=key))
@@ -313,18 +341,19 @@ def _assemble_steps_table(config: ExperimentConfig, kind: str,
             value = [int(s) for s in value.steps]
         by_cell[(g, column)] = value
     # Canonical column order, independent of how the plan interleaved
-    # requests and passthrough tasks.
+    # requests and passthrough tasks. Column headers come from the specs'
+    # display metadata (the paper prints RR and RRL as one "RR/RRL"
+    # column — they share the transformation phase and step counts).
     columns: dict[str, list[int | None]] = {}
     paper_cols: dict[str, list[int]] = {}
     for g in config.groups:
         for column in ("RRL", comparator):
-            label = (f"G={g} RR/RRL" if column == "RRL"
-                     else f"G={g} {column}")
+            label = f"G={g} {get_spec(column).table_label}"
             columns[label] = by_cell[(g, column)]
     for g in config.groups:
         paper = (PAPER_TABLE1 if kind == "UA" else PAPER_TABLE2).get(g)
         if paper is not None and config.times == PAPER_TIMES:
-            paper_cols[f"G={g} RR/RRL"] = paper[0]
+            paper_cols[f"G={g} {get_spec('RRL').table_label}"] = paper[0]
             paper_cols[f"G={g} {comparator}"] = paper[1]
     title = ("Table 1: steps for UA(t) — RR/RRL vs RSD" if kind == "UA"
              else "Table 2: steps for UR(t) — RR/RRL vs SR")
@@ -357,26 +386,27 @@ def _timing_column(config: ExperimentConfig, g: int, kind: str,
     """One timing-figure series (module-level: pool workers pickle this).
 
     Each cell times one standalone ``solve`` at a single ``t`` (the
-    paper's experimental setup). Over-budget SR/RR cells are skipped and
-    reported as ``None``.
+    paper's experimental setup). Methods whose spec declares a
+    ``step_budget_kwarg`` (their cost grows with ``Λt``: SR's sweep,
+    RR's inner SR solve) are capped by the matching config budget —
+    over-budget cells are skipped and reported as ``None``.
     """
+    spec = get_spec(method)
+    budget = config.step_budget_for(spec)
     model, rewards = _build(config, g, kind)
     lam = model.max_output_rate
     vals: list[float | None] = []
     for t in config.times:
-        predicted = sr_required_steps(
-            lam * t, config.eps / rewards.max_rate, Measure.TRR)
-        if method == "SR" and predicted > config.sr_step_budget:
-            vals.append(None)
-            continue
         kwargs = {}
-        if method == "RR":
-            if predicted > config.rr_inner_budget:
+        if budget is not None:
+            # The SR step prediction is the Λt-cost proxy for every
+            # O(Λt)-stepping method (RR's inner solve is an SR solve).
+            predicted = sr_required_steps(
+                lam * t, config.eps / rewards.max_rate, Measure.TRR)
+            if predicted > budget:
                 vals.append(None)
                 continue
-            kwargs["inner_max_steps"] = config.rr_inner_budget
-        elif method == "SR":
-            kwargs["max_steps"] = config.sr_step_budget
+            kwargs[spec.step_budget_kwarg] = budget
         vals.append(_timed_solve(method, model, rewards, t,
                                  config.eps, **kwargs))
     return vals

@@ -1,59 +1,72 @@
 """One-call front door: ``solve(model, rewards, measure, times, method=...)``.
 
-Keeps a registry of solver factories keyed by the short method tags the
-paper uses (``"RRL"``, ``"RR"``, ``"SR"``, ``"RSD"``, plus the extras
-``"AU"`` and ``"ODE"``), so scripts and the experiment harness can select
-methods by name.
+Method tags (``"RRL"``, ``"RR"``, ``"SR"``, ``"RSD"``, ``"AU"``, ``"MS"``,
+``"ODE"``) resolve through the capability-declaring solver registry
+(:mod:`repro.solvers.registry`) — the solvers self-register, so this
+module carries no import ladder and new solvers need no edit here.
 
 This stays the right call for *one ad-hoc solve of a live model*. For
 anything batch-shaped — grids, sweeps, queued work — the canonical API is
 :class:`repro.service.service.SolveService` with declarative
 :class:`~repro.batch.planner.SolveRequest` cells: same numbers, plus
-coalescing, fusion, kernel caching and a serializable wire form.
+coalescing, fusion, kernel caching, schedule memoization and a
+serializable wire form.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterator, Mapping
 
 import numpy as np
 
-from repro.core.rr_solver import RegenerativeRandomizationSolver
-from repro.core.rrl_solver import RRLSolver
-from repro.markov.adaptive import AdaptiveUniformizationSolver
+from repro.exceptions import UnknownMethodError
 from repro.markov.base import TransientSolution, TransientSolver
 from repro.markov.ctmc import CTMC
-from repro.markov.ode import OdeSolver
 from repro.markov.rewards import Measure, RewardStructure
-from repro.markov.multistep import MultistepRandomizationSolver
-from repro.markov.rsd import SteadyStateDetectionSolver
-from repro.markov.standard import StandardRandomizationSolver
+from repro.solvers import registry
 
 __all__ = ["SOLVER_REGISTRY", "get_solver", "solve"]
 
-#: Method tag → zero-config solver factory. Factories take arbitrary
-#: keyword arguments forwarded to the solver constructor.
-SOLVER_REGISTRY: dict[str, Callable[..., TransientSolver]] = {
-    "RRL": RRLSolver,
-    "RR": RegenerativeRandomizationSolver,
-    "SR": StandardRandomizationSolver,
-    "RSD": SteadyStateDetectionSolver,
-    "AU": AdaptiveUniformizationSolver,
-    "ODE": OdeSolver,
-    "MS": MultistepRandomizationSolver,
-}
+
+class _RegistryView(Mapping):
+    """Read-only ``{method tag: constructor}`` view of the solver registry.
+
+    Kept under the historical name :data:`SOLVER_REGISTRY` so existing
+    callers (``sorted(SOLVER_REGISTRY)``, ``SOLVER_REGISTRY.values()``)
+    keep working; the source of truth is
+    :mod:`repro.solvers.registry` — mutate that, not this.
+    """
+
+    def __getitem__(self, method: str) -> Callable[..., TransientSolver]:
+        try:
+            return registry.get_spec(method).constructor
+        except UnknownMethodError:
+            raise KeyError(method) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(registry.known_methods())
+
+    def __len__(self) -> int:
+        return len(registry.known_methods())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}("
+                + ", ".join(registry.known_methods()) + ")")
+
+
+#: Method tag → zero-config solver factory (registry-backed view).
+SOLVER_REGISTRY: Mapping[str, Callable[..., TransientSolver]] = \
+    _RegistryView()
 
 
 def get_solver(method: str, **kwargs) -> TransientSolver:
-    """Instantiate a solver by its method tag (case-insensitive)."""
-    key = method.upper()
-    try:
-        factory = SOLVER_REGISTRY[key]
-    except KeyError:
-        known = ", ".join(sorted(SOLVER_REGISTRY))
-        raise ValueError(f"unknown method {method!r}; choose from {known}") \
-            from None
-    return factory(**kwargs)
+    """Instantiate a solver by its method tag (case-insensitive).
+
+    Raises :class:`~repro.exceptions.UnknownMethodError` (a
+    :class:`ValueError`) for unregistered tags, with the registry's
+    known-method list in the message.
+    """
+    return registry.get_solver(method, **kwargs)
 
 
 def solve(model: CTMC,
@@ -70,7 +83,8 @@ def solve(model: CTMC,
     model, rewards, measure, times, eps:
         As for the individual solvers; ``times`` may be a scalar.
     method:
-        One of :data:`SOLVER_REGISTRY` (default the paper's ``"RRL"``).
+        Any tag in :func:`repro.solvers.registry.known_methods` (default
+        the paper's ``"RRL"``).
     solver_kwargs:
         Forwarded to the solver constructor (e.g. ``regenerative=...``).
     """

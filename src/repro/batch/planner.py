@@ -41,8 +41,7 @@ method tag): it is the unit of work the service layer puts on the wire
 
 from __future__ import annotations
 
-import hashlib
-import weakref
+import warnings
 from collections import OrderedDict
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field, replace as _dc_replace
@@ -53,10 +52,12 @@ import numpy as np
 from repro.batch.kernel import UniformizationKernel
 from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
 from repro.batch.scenarios import Scenario
+from repro.core.schedule_cache import process_schedule_cache
 from repro.exceptions import ModelError
 from repro.markov.base import SolveCell, TransientSolution
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
+from repro.solvers import registry
 
 __all__ = [
     "SolveRequest",
@@ -72,14 +73,28 @@ __all__ = [
     "worker_cache_info",
 ]
 
-#: Methods whose solver implements ``solve_fused`` (one shared stepping
-#: sweep serves many cells). RR/RRL solve a *transformed* model per time
-#: point and AU re-randomizes per step, so for them sharing stops at the
-#: kernel/model cache.
-FUSABLE_METHODS = frozenset({"SR", "RSD"})
+#: Deprecated module attributes, now derived from the solver registry's
+#: capability flags (``stack_fusable`` / ``kernel_aware``). RR/RRL solve
+#: a *transformed* model per time point and AU re-randomizes per step,
+#: so neither declares ``stack_fusable`` — for them sharing stops at the
+#: kernel/model cache (and, for RR/RRL, the schedule memo).
+_DEPRECATED_METHOD_SETS = {
+    "FUSABLE_METHODS": registry.stack_fusable_methods,
+    "KERNEL_AWARE_METHODS": registry.kernel_aware_methods,
+}
 
-#: Methods whose ``solve`` accepts an injected pre-built kernel.
-KERNEL_AWARE_METHODS = frozenset({"SR", "RSD", "AU", "MS", "RR", "RRL"})
+
+def __getattr__(name: str) -> Any:
+    try:
+        provider = _DEPRECATED_METHOD_SETS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    warnings.warn(
+        f"repro.batch.planner.{name} is deprecated; query the solver "
+        "registry (repro.solvers.registry) capability sets instead",
+        DeprecationWarning, stacklevel=2)
+    return provider()
 
 
 @dataclass(frozen=True)
@@ -130,6 +145,10 @@ class SolveRequest:
                            tuple(float(t) for t in np.atleast_1d(
                                np.asarray(self.times, dtype=np.float64))))
         object.__setattr__(self, "method", str(self.method).upper())
+        # Fail at construction, not deep inside a worker: the registry is
+        # the one authority on method tags (raises UnknownMethodError
+        # with the known-method list).
+        registry.get_spec(self.method)
         object.__setattr__(self, "solver_kwargs", dict(self.solver_kwargs))
 
     def __hash__(self) -> int:
@@ -162,50 +181,29 @@ def _freeze(value: Any) -> Any:
     return value
 
 
-#: Memoized digests — planning consults the fingerprint several times per
-#: request (signature + fusion key) and execution once more; hashing a
-#: large CSR repeatedly would tax exactly the path the planner speeds up.
-#: CTMCs are immutable in practice, so the content digest is stable.
-_ctmc_digests: "weakref.WeakKeyDictionary[CTMC, str]" = \
-    weakref.WeakKeyDictionary()
-
-
-def _ctmc_digest(model: CTMC) -> str:
-    """Content hash of a live model (generator structure + initial)."""
-    digest = _ctmc_digests.get(model)
-    if digest is None:
-        q = model.generator
-        h = hashlib.sha1()
-        h.update(np.int64(model.n_states).tobytes())
-        h.update(np.ascontiguousarray(q.indptr).tobytes())
-        h.update(np.ascontiguousarray(q.indices).tobytes())
-        h.update(np.ascontiguousarray(q.data).tobytes())
-        h.update(np.ascontiguousarray(model.initial).tobytes())
-        digest = h.hexdigest()
-        _ctmc_digests[model] = digest
-    return digest
-
-
 def model_fingerprint(request: SolveRequest) -> tuple:
     """Identity of the *model* a request runs against.
 
     Scenario-backed requests fingerprint the (deterministic) scenario
-    description; model-backed requests fingerprint the matrix content.
-    Two requests with equal fingerprints are guaranteed to rebuild
-    bit-identical models, which is what makes cross-cell sharing safe.
+    description; model-backed requests fingerprint the matrix content
+    (``CTMC.content_digest``, memoized on the instance — planning
+    consults the fingerprint several times per request and execution once
+    more, and hashing a large CSR repeatedly would tax exactly the path
+    the planner speeds up). Two requests with equal fingerprints are
+    guaranteed to rebuild bit-identical models, which is what makes
+    cross-cell sharing safe.
     """
     if request.scenario is not None:
         s = request.scenario
         return ("scenario", s.family, _freeze(s.params))
-    return ("ctmc", _ctmc_digest(request.model))  # type: ignore[arg-type]
+    return ("ctmc",
+            request.model.content_digest())  # type: ignore[union-attr]
 
 
 def _rewards_fingerprint(request: SolveRequest) -> tuple:
     if request.rewards is None:
         return ("scenario-default",)
-    return ("rewards",
-            hashlib.sha1(np.ascontiguousarray(
-                request.rewards.rates).tobytes()).hexdigest())
+    return ("rewards", request.rewards.content_digest())
 
 
 def _signature(request: SolveRequest) -> tuple:
@@ -235,11 +233,13 @@ _worker_cache_misses = 0
 
 
 def worker_cache_clear() -> None:
-    """Drop this process's model/kernel cache (tests, worker hygiene)."""
+    """Drop this process's model/kernel cache *and* its RR/RRL schedule
+    cache (tests, worker hygiene) — the two share a lifetime."""
     global _worker_cache_hits, _worker_cache_misses
     _worker_cache.clear()
     _worker_cache_hits = 0
     _worker_cache_misses = 0
+    process_schedule_cache().clear()
 
 
 def worker_cache_info() -> dict[str, int]:
@@ -278,7 +278,7 @@ def _resolve_cached(request: SolveRequest
     if rewards is None:
         raise ModelError("request resolves to no reward structure")
     kernel: UniformizationKernel | None = None
-    if (request.method in KERNEL_AWARE_METHODS
+    if (registry.get_spec(request.method).kernel_aware
             and "rate" not in request.solver_kwargs):
         if entry[2] is None:
             entry[2] = UniformizationKernel.from_model(model)[0]
@@ -288,22 +288,29 @@ def _resolve_cached(request: SolveRequest
 
 # -- worker entry points ---------------------------------------------------
 
-def run_request(request: SolveRequest) -> TransientSolution:
+def run_request(request: SolveRequest,
+                memoize: bool = True) -> TransientSolution:
     """Execute one unfused request (picklable worker entry point).
 
     Builds — or fetches from this worker's cache — the model and its
-    kernel, then runs the ordinary solver. Bit-identical to
-    ``get_solver(method).solve(model, rewards, ...)``.
+    kernel, then runs the ordinary solver; when the method's
+    :class:`~repro.solvers.registry.SolverSpec` declares
+    ``schedule_memoizable`` (RR/RRL) and ``memoize`` is on, the worker's
+    process-wide :class:`~repro.core.schedule_cache.ScheduleCache` is
+    injected so cells sharing ``(model, rewards, regenerative, rate)``
+    pay the ``K + L`` transformation once. Bit-identical to
+    ``get_solver(method).solve(model, rewards, ...)`` either way.
     """
-    from repro.analysis.runner import get_solver
-
+    spec = registry.get_spec(request.method)
     model, rewards, kernel = _resolve_cached(request)
-    solver = get_solver(request.method, **dict(request.solver_kwargs))
+    solver = spec.build(**dict(request.solver_kwargs))
+    extra: dict[str, Any] = {}
     if kernel is not None:
-        return solver.solve(model, rewards, request.measure,
-                            list(request.times), request.eps, kernel=kernel)
+        extra["kernel"] = kernel
+    if memoize and spec.schedule_memoizable:
+        extra["schedule_cache"] = process_schedule_cache()
     return solver.solve(model, rewards, request.measure,
-                        list(request.times), request.eps)
+                        list(request.times), request.eps, **extra)
 
 
 def _cell_for(request: SolveRequest, rewards: RewardStructure) -> SolveCell:
@@ -321,11 +328,10 @@ def run_fused_group(requests: tuple[SolveRequest, ...]) -> list[dict]:
     standalone and failures stay per-cell — exactly the unfused
     semantics, at the unfused price for that group only.
     """
-    from repro.analysis.runner import get_solver
-
     requests = tuple(requests)
     first = requests[0]
-    solver = get_solver(first.method, **dict(first.solver_kwargs))
+    solver = registry.get_solver(first.method,
+                                 **dict(first.solver_kwargs))
     try:
         model, _, kernel = _resolve_cached(first)
         cells = []
@@ -370,6 +376,7 @@ class ExecutionPlan:
     fused: list[bool]
     coalesced: int
     fuse_enabled: bool
+    memoize_enabled: bool = True
 
     @property
     def n_requests(self) -> int:
@@ -390,12 +397,40 @@ class ExecutionPlan:
         return sum(len(slots) for slots, f in zip(self.assignments,
                                                   self.fused) if f)
 
+    def schedule_builds(self) -> int:
+        """Upper bound on the schedule transformations a memoizing worker
+        builds for this plan.
+
+        Schedule-memoizable requests (RR/RRL) are grouped by ``(model,
+        rewards, spec.schedule_fingerprint(solver_kwargs))`` — the specs'
+        fingerprint hooks declare which constructor kwargs the ``K + L``
+        phase depends on, so cells differing only in solution-phase knobs
+        (``t_factor``, ``inner_max_steps``) count as one build, and RR
+        and RRL cells on one model share a group. An upper bound because
+        the hook sees raw kwargs: a cell spelling out a default
+        (``rate=Λ_max``) fingerprints apart from one relying on it, yet
+        lands on the same cache entry at run time. 0 with memoization
+        off.
+        """
+        if not self.memoize_enabled:
+            return 0
+        groups = set()
+        for req in self.requests:
+            spec = registry.get_spec(req.method)
+            if not spec.schedule_memoizable:
+                continue
+            groups.add((model_fingerprint(req), _rewards_fingerprint(req),
+                        spec.schedule_fingerprint(req.solver_kwargs)))
+        return len(groups)
+
     def summary(self) -> str:
         """One-line human description (scripts print this)."""
         return (f"{self.n_requests} requests -> {self.n_tasks} tasks "
                 f"({self.fused_tasks} fused covering {self.fused_cells} "
                 f"cells, {self.coalesced} coalesced; "
-                f"fusion {'on' if self.fuse_enabled else 'off'})")
+                f"fusion {'on' if self.fuse_enabled else 'off'}, "
+                f"schedule memo "
+                f"{'on' if self.memoize_enabled else 'off'})")
 
     def scatter(self, outcomes: list[BatchOutcome]) -> list[BatchOutcome]:
         """Per-request outcomes (request order) from per-task outcomes."""
@@ -429,21 +464,27 @@ class ExecutionPlan:
 
 def plan_requests(requests: Iterable[SolveRequest],
                   *,
-                  fuse: bool = True) -> ExecutionPlan:
+                  fuse: bool = True,
+                  memoize: bool = True) -> ExecutionPlan:
     """Compile requests into coalesced, model-fused batch tasks.
 
     With ``fuse=False`` the plan is the identity mapping — one task per
     request — which still benefits from the per-worker kernel cache and
     serves as the comparison baseline for ``--verify``-style checks.
+    ``memoize=False`` additionally disables the per-worker RR/RRL
+    schedule-transformation cache (the A/B baseline for the memoization
+    verify) — either way the numbers are identical.
     """
     requests = list(requests)
     if not fuse:
-        tasks = [BatchTask(fn=run_request, args=(req,), key=req.key)
+        tasks = [BatchTask(fn=run_request, args=(req, memoize),
+                           key=req.key)
                  for req in requests]
         return ExecutionPlan(requests=requests, tasks=tasks,
                              assignments=[[[i]] for i in range(len(requests))],
                              fused=[False] * len(requests),
-                             coalesced=0, fuse_enabled=False)
+                             coalesced=0, fuse_enabled=False,
+                             memoize_enabled=memoize)
 
     # 1. Coalesce exact duplicates: one representative per signature.
     by_signature: "OrderedDict[tuple, list[int]]" = OrderedDict()
@@ -455,7 +496,7 @@ def plan_requests(requests: Iterable[SolveRequest],
     groups: "OrderedDict[tuple, list[list[int]]]" = OrderedDict()
     for slot in by_signature.values():
         rep = requests[slot[0]]
-        if rep.method in FUSABLE_METHODS:
+        if registry.get_spec(rep.method).stack_fusable:
             gkey = ("fuse",) + _fusion_key(rep)
         else:
             gkey = ("single", len(groups))
@@ -478,21 +519,24 @@ def plan_requests(requests: Iterable[SolveRequest],
         else:
             for slot in slots:
                 rep = requests[slot[0]]
-                tasks.append(BatchTask(fn=run_request, args=(rep,),
+                tasks.append(BatchTask(fn=run_request,
+                                       args=(rep, memoize),
                                        key=rep.key))
                 assignments.append([slot])
                 fused_flags.append(False)
     return ExecutionPlan(requests=requests, tasks=tasks,
                          assignments=assignments, fused=fused_flags,
-                         coalesced=coalesced, fuse_enabled=True)
+                         coalesced=coalesced, fuse_enabled=True,
+                         memoize_enabled=memoize)
 
 
 def execute_requests(requests: Iterable[SolveRequest],
                      runner: BatchRunner | None = None,
                      *,
-                     fuse: bool = True) -> list[BatchOutcome]:
+                     fuse: bool = True,
+                     memoize: bool = True) -> list[BatchOutcome]:
     """Plan and execute requests; one outcome per request, in order."""
-    plan = plan_requests(requests, fuse=fuse)
+    plan = plan_requests(requests, fuse=fuse, memoize=memoize)
     outcomes = (runner or BatchRunner(max_workers=1)).run(plan.tasks)
     return plan.scatter(outcomes)
 
@@ -500,9 +544,11 @@ def execute_requests(requests: Iterable[SolveRequest],
 def solve_requests(requests: Iterable[SolveRequest],
                    runner: BatchRunner | None = None,
                    *,
-                   fuse: bool = True) -> list[TransientSolution]:
+                   fuse: bool = True,
+                   memoize: bool = True) -> list[TransientSolution]:
     """Like :func:`execute_requests` but unwrapping to solutions
     (raising :class:`~repro.batch.runner.BatchExecutionError` on the
     first failed request)."""
     return [o.unwrap() for o in execute_requests(requests, runner,
-                                                 fuse=fuse)]
+                                                 fuse=fuse,
+                                                 memoize=memoize)]

@@ -15,6 +15,10 @@ Rank regenerative-state candidates for the availability model::
 
     python -m repro diagnose --groups 10
 
+List the registered solvers and their capabilities::
+
+    python -m repro solvers list
+
 Run the quick grid through the resumable on-disk job queue (a killed
 ``run`` resumes from the journal with bit-identical results)::
 
@@ -43,7 +47,8 @@ from repro.analysis.experiments import (
     run_table2,
 )
 from repro.analysis.reporting import format_table
-from repro.analysis.runner import SOLVER_REGISTRY, solve
+from repro.analysis.runner import solve
+from repro.solvers import registry
 from repro.markov.mttf import mean_time_to_absorption
 from repro.markov.rewards import Measure
 from repro.models import (
@@ -148,6 +153,21 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solvers_list(args: argparse.Namespace) -> int:
+    """``repro solvers list`` — the registry, end to end: every row is a
+    live :class:`~repro.solvers.registry.SolverSpec`."""
+    rows = []
+    for spec in registry.specs():
+        caps = ", ".join(flag.replace("_", "-")
+                         for flag in spec.capabilities()) or "-"
+        rows.append([spec.name, caps, spec.summary])
+    print(format_table(
+        f"{len(rows)} registered solvers "
+        "(capabilities drive planner fusion/caching/memoization)",
+        ["method", "capabilities", "summary"], rows))
+    return 0
+
+
 # -- queue-backed batch execution ------------------------------------------
 
 def _positive_int(text: str) -> int:
@@ -198,7 +218,8 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
     from repro.service import JobQueue, SolveService
 
     queue = JobQueue.resume(args.queue)
-    service = SolveService(workers=args.workers, fuse=args.fuse)
+    service = SolveService(workers=args.workers, fuse=args.fuse,
+                           memoize=args.memoize)
     processed = queue.run(service, limit=args.limit,
                           checkpoint=args.checkpoint)
     failed = sum(1 for _, o in processed if not o.ok)
@@ -263,7 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="raid-ur")
     p.add_argument("--groups", type=int, default=10)
     p.add_argument("--measure", choices=["trr", "mrr"], default="trr")
-    p.add_argument("--method", choices=sorted(SOLVER_REGISTRY),
+    p.add_argument("--method", choices=registry.known_methods(),
                    default="RRL")
     p.add_argument("--times", type=float, nargs="+",
                    default=[1.0, 100.0, 10000.0])
@@ -314,6 +335,10 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--no-fuse", dest="fuse", action="store_false",
                     default=True,
                     help="disable planner coalescing/fusion")
+    pb.add_argument("--no-memoize", dest="memoize", action="store_false",
+                    default=True,
+                    help="disable the per-worker RR/RRL schedule-"
+                         "transformation cache")
     pb.add_argument("--limit", type=int, default=None,
                     help="process at most this many pending jobs")
     pb.add_argument("--checkpoint", type=_positive_int, default=8,
@@ -333,6 +358,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="dump wire-format outcomes as JSON")
     pb.set_defaults(func=_cmd_batch_collect)
 
+    p = sub.add_parser(
+        "solvers",
+        help="inspect the capability-declaring solver registry")
+    solvers_sub = p.add_subparsers(dest="solvers_command", required=True)
+    ps = solvers_sub.add_parser(
+        "list",
+        help="list registered solvers, capabilities and summaries")
+    ps.set_defaults(func=_cmd_solvers_list)
+
     p = sub.add_parser("validate",
                        help="cross-method agreement check on a RAID model")
     p.add_argument("--model", choices=["raid-ua", "raid-ur"],
@@ -346,18 +380,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point (``python -m repro ...``)."""
-    from repro.exceptions import ProtocolError, QueueError
+    from repro.exceptions import (
+        ProtocolError,
+        QueueError,
+        UnknownMethodError,
+    )
 
     parser = build_parser()
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     try:
         return args.func(args)
-    except (ProtocolError, QueueError) as exc:
+    except (ProtocolError, QueueError, UnknownMethodError) as exc:
         # Operational errors of the queue-backed commands (missing
-        # journal, incomplete queue, bad wire payload) are runtime
-        # failures, not usage mistakes: report them plainly on stderr
-        # with an ordinary failure code — no usage banner, no traceback,
-        # and distinguishable from argparse's exit status 2.
+        # journal, incomplete queue, bad wire payload, a method tag the
+        # registry does not know) are runtime failures, not usage
+        # mistakes: report them plainly on stderr with an ordinary
+        # failure code — no usage banner, no traceback, and
+        # distinguishable from argparse's exit status 2.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -19,6 +19,12 @@ Pipeline
 """
 
 from repro.core.schedules import RegenerativeSchedule, ScheduleBuilder
+from repro.core.schedule_cache import (
+    ScheduleCache,
+    process_schedule_cache,
+    process_schedule_cache_clear,
+    process_schedule_cache_info,
+)
 from repro.core.truncation import select_truncation, truncation_error_bound
 from repro.core.transforms import VklTransform
 from repro.core.vkl import build_vkl
@@ -29,6 +35,10 @@ from repro.core.bounds import BoundedSolution, RRLBoundsSolver
 __all__ = [
     "RegenerativeSchedule",
     "ScheduleBuilder",
+    "ScheduleCache",
+    "process_schedule_cache",
+    "process_schedule_cache_clear",
+    "process_schedule_cache_info",
     "select_truncation",
     "truncation_error_bound",
     "VklTransform",

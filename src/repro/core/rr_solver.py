@@ -18,12 +18,17 @@ import numpy as np
 
 from repro.batch.kernel import UniformizationKernel
 from repro.core._setup import prepare
+from repro.core.schedule_cache import (
+    ScheduleCache,
+    regenerative_schedule_fingerprint,
+)
 from repro.core.truncation import select_truncation
 from repro.core.vkl import build_vkl
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
 from repro.markov.standard import StandardRandomizationSolver
+from repro.solvers.registry import SolverSpec, register
 
 __all__ = ["RegenerativeRandomizationSolver"]
 
@@ -61,14 +66,19 @@ class RegenerativeRandomizationSolver:
               times: np.ndarray | list[float],
               eps: float = 1e-12,
               *,
-              kernel: UniformizationKernel | None = None
+              kernel: UniformizationKernel | None = None,
+              schedule_cache: ScheduleCache | None = None
               ) -> TransientSolution:
         """Compute the measure at every time point with total error ``eps``.
 
         ``kernel`` may be a pre-built (cached/shared) kernel from
         ``UniformizationKernel.from_model(model)``; the transformation
         phase then steps through it instead of re-uniformizing, with
-        bit-identical results.
+        bit-identical results. ``schedule_cache`` additionally shares the
+        transformation itself across solve calls (the ``K + L`` stepping
+        phase is paid once per ``(model, rewards, regenerative, rate)``
+        per cache), again bit-identically — see
+        :mod:`repro.core.schedule_cache`.
         """
         rewards.check_model(model)
         t_arr = as_time_array(times)
@@ -83,8 +93,18 @@ class RegenerativeRandomizationSolver:
                 stats={"rate": self._rate if self._rate is not None
                        else model.max_output_rate})
 
-        setup = prepare(model, rewards, self._regenerative, self._rate,
-                        kernel=kernel)
+        cache_hit: bool | None = None
+        if schedule_cache is not None:
+            setup, cache_hit = schedule_cache.setup_for(
+                model, rewards, self._regenerative, self._rate,
+                kernel=kernel)
+        else:
+            setup = prepare(model, rewards, self._regenerative, self._rate,
+                            kernel=kernel)
+        # Steps already on the (possibly shared) builders before this
+        # solve: the difference is what *this* call charged.
+        reused_steps = setup.main.steps_done \
+            + (setup.primed.steps_done if setup.primed else 0)
         inner = StandardRandomizationSolver(max_steps=self._inner_max_steps)
 
         values = np.empty(t_arr.size)
@@ -108,16 +128,33 @@ class RegenerativeRandomizationSolver:
             k_points[i] = choice.k_point
             l_points[i] = choice.l_point if choice.l_point is not None else -1
             inner_steps[i] = sol.steps[0]
+        stats = {
+            "rate": setup.rate,
+            "regenerative": setup.regenerative,
+            "alpha_r": setup.alpha_r,
+            "K": k_points,
+            "L": l_points,
+            "inner_sr_steps": inner_steps,
+            "transformation_steps": setup.main.steps_done
+            + (setup.primed.steps_done if setup.primed else 0)
+            - reused_steps,
+        }
+        if cache_hit is not None:
+            stats["schedule_cache_hit"] = cache_hit
+            stats["transformation_steps_reused"] = reused_steps
         return TransientSolution(
             times=t_arr, values=values, measure=measure, eps=eps,
-            steps=steps, method=self.method_name,
-            stats={
-                "rate": setup.rate,
-                "regenerative": setup.regenerative,
-                "alpha_r": setup.alpha_r,
-                "K": k_points,
-                "L": l_points,
-                "inner_sr_steps": inner_steps,
-                "transformation_steps": setup.main.steps_done
-                + (setup.primed.steps_done if setup.primed else 0),
-            })
+            steps=steps, method=self.method_name, stats=stats)
+
+
+register(SolverSpec(
+    name="RR",
+    constructor=RegenerativeRandomizationSolver,
+    summary="Original regenerative randomization (transform model, solve "
+            "V_KL by inner SR)",
+    kernel_aware=True,
+    schedule_memoizable=True,
+    schedule_fingerprint=regenerative_schedule_fingerprint,
+    step_budget_kwarg="inner_max_steps",
+    table_label="RR/RRL",
+))

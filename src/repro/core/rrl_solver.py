@@ -25,12 +25,17 @@ import numpy as np
 
 from repro.batch.kernel import UniformizationKernel
 from repro.core._setup import prepare
+from repro.core.schedule_cache import (
+    ScheduleCache,
+    regenerative_schedule_fingerprint,
+)
 from repro.core.transforms import VklTransform
 from repro.core.truncation import select_truncation
 from repro.laplace.inversion import invert_bounded, invert_cumulative
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
+from repro.solvers.registry import SolverSpec, register
 
 __all__ = ["RRLSolver"]
 
@@ -73,14 +78,19 @@ class RRLSolver:
               times: np.ndarray | list[float],
               eps: float = 1e-12,
               *,
-              kernel: UniformizationKernel | None = None
+              kernel: UniformizationKernel | None = None,
+              schedule_cache: ScheduleCache | None = None
               ) -> TransientSolution:
         """Compute the measure at every time point with total error ``eps``.
 
         ``kernel`` may be a pre-built (cached/shared) kernel from
         ``UniformizationKernel.from_model(model)``; the transformation
         phase then steps through it instead of re-uniformizing, with
-        bit-identical results.
+        bit-identical results. ``schedule_cache`` additionally shares the
+        transformation itself across solve calls — RR and RRL cells on
+        one ``(model, rewards, regenerative, rate)`` pay the ``K + L``
+        stepping phase once per cache, bit-identically — see
+        :mod:`repro.core.schedule_cache`.
         """
         rewards.check_model(model)
         t_arr = as_time_array(times)
@@ -95,8 +105,18 @@ class RRLSolver:
                 stats={"rate": self._rate if self._rate is not None
                        else model.max_output_rate})
 
-        setup = prepare(model, rewards, self._regenerative, self._rate,
-                        kernel=kernel)
+        cache_hit: bool | None = None
+        if schedule_cache is not None:
+            setup, cache_hit = schedule_cache.setup_for(
+                model, rewards, self._regenerative, self._rate,
+                kernel=kernel)
+        else:
+            setup = prepare(model, rewards, self._regenerative, self._rate,
+                            kernel=kernel)
+        # Steps already on the (possibly shared) builders before this
+        # solve: the difference is what *this* call charged.
+        reused_steps = setup.main.steps_done \
+            + (setup.primed.steps_done if setup.primed else 0)
 
         values = np.empty(t_arr.size)
         steps = np.empty(t_arr.size, dtype=np.int64)
@@ -130,18 +150,34 @@ class RRLSolver:
             l_points[i] = choice.l_point if choice.l_point is not None else -1
             abscissae[i] = res.n_abscissae
             dampings[i] = res.damping
+        stats = {
+            "rate": setup.rate,
+            "regenerative": setup.regenerative,
+            "alpha_r": setup.alpha_r,
+            "K": k_points,
+            "L": l_points,
+            "n_abscissae": abscissae,
+            "damping": dampings,
+            "t_factor": self._t_factor,
+            "transformation_steps": setup.main.steps_done
+            + (setup.primed.steps_done if setup.primed else 0)
+            - reused_steps,
+        }
+        if cache_hit is not None:
+            stats["schedule_cache_hit"] = cache_hit
+            stats["transformation_steps_reused"] = reused_steps
         return TransientSolution(
             times=t_arr, values=values, measure=measure, eps=eps,
-            steps=steps, method=self.method_name,
-            stats={
-                "rate": setup.rate,
-                "regenerative": setup.regenerative,
-                "alpha_r": setup.alpha_r,
-                "K": k_points,
-                "L": l_points,
-                "n_abscissae": abscissae,
-                "damping": dampings,
-                "t_factor": self._t_factor,
-                "transformation_steps": setup.main.steps_done
-                + (setup.primed.steps_done if setup.primed else 0),
-            })
+            steps=steps, method=self.method_name, stats=stats)
+
+
+register(SolverSpec(
+    name="RRL",
+    constructor=RRLSolver,
+    summary="Regenerative randomization with Laplace transform inversion "
+            "(the paper's method)",
+    kernel_aware=True,
+    schedule_memoizable=True,
+    schedule_fingerprint=regenerative_schedule_fingerprint,
+    table_label="RR/RRL",
+))

@@ -1,0 +1,178 @@
+"""Cross-cell memoization of the RR/RRL schedule transformation.
+
+The expensive, cell-independent part of both regenerative solvers is the
+*transformation phase*: stepping the randomized DTMC to extract the
+regenerative schedules (``K + L`` matrix–vector products per model). The
+per-``t`` work — truncation-point selection, building/inverting
+``V_{K,L}`` — only ever *reads* schedule prefixes. Two properties make the
+phase memoizable across solve calls:
+
+* a :class:`~repro.core.schedules.ScheduleBuilder` is **incremental and
+  prefix-stable** — extending it for a larger horizon never changes any
+  already-recorded ``a(k)/c(k)/q_k/v_k`` entry, and truncation selection
+  plus the transforms consume only the ``[0..K]`` (``[0..L]``) prefix;
+* the schedules depend only on ``(model, rewards, regenerative state,
+  randomization rate)`` — **not** on ``t`` or ``ε`` (those only decide
+  how far the prefix must extend) and not on solver tuning knobs like
+  RRL's ``t_factor`` or RR's ``inner_max_steps``.
+
+So a grid of RR/RRL cells sharing a model pays the stepping phase once:
+the first cell builds the :class:`~repro.core._setup.RegenerativeSetup`,
+later cells (RR *and* RRL — the key carries no method) reuse and at most
+extend it, with bit-for-bit identical values and step counts (pinned by
+``tests/core/test_schedule_cache.py`` and the three-way
+``run_paper_grid.py --verify``).
+
+Workers use the process-wide instance (:func:`process_schedule_cache`);
+the planner's :func:`repro.batch.planner.run_request` injects it into
+every solver whose :class:`~repro.solvers.registry.SolverSpec` declares
+``schedule_memoizable`` (disable per run with ``memoize=False``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
+
+from repro.core._setup import (
+    RegenerativeSetup,
+    default_regenerative_state,
+    prepare,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.batch.kernel import UniformizationKernel
+    from repro.markov.ctmc import CTMC
+    from repro.markov.rewards import RewardStructure
+
+__all__ = [
+    "ScheduleCache",
+    "regenerative_schedule_fingerprint",
+    "process_schedule_cache",
+    "process_schedule_cache_clear",
+    "process_schedule_cache_info",
+]
+
+#: Setups a process keeps warm. A paper-style grid touches a handful of
+#: models; RR and RRL share entries (the key has no method), so 16 covers
+#: every in-tree sweep while bounding a long-lived worker's memory.
+_DEFAULT_MAX_ENTRIES = 16
+
+
+def regenerative_schedule_fingerprint(
+        solver_kwargs: Mapping[str, Any]) -> tuple:
+    """The subset of RR/RRL constructor kwargs the transformation depends
+    on (the :class:`~repro.solvers.registry.SolverSpec` fingerprint hook,
+    consumed by
+    :meth:`repro.batch.planner.ExecutionPlan.schedule_builds`).
+
+    Everything else (``t_factor``, ``max_terms``, ``inner_max_steps``)
+    tunes only the per-``t`` solution phase, so cells differing in those
+    still share one schedule.
+    """
+    return (("regenerative", solver_kwargs.get("regenerative")),
+            ("rate", solver_kwargs.get("rate")))
+
+
+class ScheduleCache:
+    """LRU of :class:`~repro.core._setup.RegenerativeSetup` objects keyed
+    on ``(model digest, rewards digest, regenerative state, rate)``.
+
+    Entries are *live* builders: a consumer may extend them (that is the
+    point — later cells inherit the prefix), but must never mutate
+    recorded entries; :class:`~repro.core.schedules.ScheduleBuilder` has
+    no API to do so.
+    """
+
+    def __init__(self, max_entries: int = _DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, RegenerativeSetup]" = \
+            OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def key_for(model: "CTMC", rewards: "RewardStructure",
+                regenerative: int | None, rate: float | None,
+                kernel: "UniformizationKernel | None" = None) -> tuple:
+        """The cache identity of a transformation request.
+
+        ``regenerative``/``rate`` are resolved to the same defaults the
+        solvers use (paper's choice of the initial state; the model's
+        maximum output rate), so explicit-default and implicit-default
+        requests share one entry.
+        """
+        if regenerative is None:
+            regenerative = default_regenerative_state(model)
+        if rate is None:
+            if kernel is not None and kernel.rate is not None:
+                rate = kernel.rate
+            else:
+                rate = model.max_output_rate
+        return (model.content_digest(), rewards.content_digest(),
+                int(regenerative), float(rate))
+
+    def setup_for(self, model: "CTMC", rewards: "RewardStructure",
+                  regenerative: int | None = None,
+                  rate: float | None = None,
+                  *,
+                  kernel: "UniformizationKernel | None" = None
+                  ) -> tuple[RegenerativeSetup, bool]:
+        """``(setup, was_hit)`` — cached when available, built otherwise.
+
+        A hit returns the *same* setup object earlier cells stepped, so
+        the ``K + L`` prefix those cells paid for is free here; results
+        remain bit-identical to a cold build (prefix stability).
+        """
+        key = self.key_for(model, rewards, regenerative, rate,
+                           kernel=kernel)
+        setup = self._entries.get(key)
+        if setup is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return setup, True
+        self._misses += 1
+        setup = prepare(model, rewards, regenerative, rate, kernel=kernel)
+        self._entries[key] = setup
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+        return setup, False
+
+    def info(self) -> dict[str, int]:
+        """Hit/miss/size statistics (bench and CI artifacts report these)."""
+        return {"hits": self._hits, "misses": self._misses,
+                "size": len(self._entries),
+                "max_size": self._max_entries}
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The per-process instance batch workers share (one per pool worker —
+#: exactly the "per-worker LRU" granularity of the planner's model/kernel
+#: cache, and cleared together with it by ``worker_cache_clear``).
+_PROCESS_CACHE = ScheduleCache()
+
+
+def process_schedule_cache() -> ScheduleCache:
+    """This process's shared schedule-transformation cache."""
+    return _PROCESS_CACHE
+
+
+def process_schedule_cache_clear() -> None:
+    """Drop the process-wide cache (tests, worker hygiene)."""
+    _PROCESS_CACHE.clear()
+
+
+def process_schedule_cache_info() -> dict[str, int]:
+    """Statistics of the process-wide cache."""
+    return _PROCESS_CACHE.info()

@@ -47,6 +47,34 @@ class InversionError(ReproError):
     """The numerical Laplace transform inversion failed or became unstable."""
 
 
+class UnknownMethodError(ReproError, ValueError):
+    """A solver method tag is not present in the solver registry.
+
+    Subclasses :class:`ValueError` for backward compatibility with the
+    pre-registry ``get_solver`` behaviour (callers catching ValueError
+    keep working).
+
+    Attributes
+    ----------
+    method:
+        The unrecognized method tag as given by the caller.
+    known:
+        Sorted tuple of the registered method tags at raise time.
+    """
+
+    def __init__(self, method: str, known: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown method {method!r}; known methods: "
+            + ", ".join(known))
+        self.method = method
+        self.known = known
+
+
+class RegistryError(ReproError):
+    """A solver registration conflicts with an existing entry (same name,
+    different spec) or is otherwise malformed."""
+
+
 class ProtocolError(ReproError):
     """A wire-protocol payload is malformed, of an unsupported schema
     version, or contains values that cannot be serialized."""

@@ -28,6 +28,7 @@ from repro.exceptions import ModelError, TruncationError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
+from repro.solvers.registry import SolverSpec, register
 
 __all__ = ["AdaptiveUniformizationSolver"]
 
@@ -214,3 +215,12 @@ class AdaptiveUniformizationSolver:
                                  stats={"rate": lam_global,
                                         "adaptive_rates": lam_arr,
                                         "budget": budget})
+
+
+register(SolverSpec(
+    name="AU",
+    constructor=AdaptiveUniformizationSolver,
+    summary="Adaptive uniformization (per-step re-randomization at the "
+            "active rate)",
+    kernel_aware=True,
+))

@@ -76,6 +76,17 @@ class TransientSolution:
         * ``fused_width`` — present **only** on solutions produced by a
           fused multi-cell pass (``solve_fused``): the number of cells
           that shared the stepping, ``>= 2``. Absent on ordinary solves.
+        * ``transformation_steps`` — **RR/RRL only**: DTMC steps the
+          schedule transformation charged to *this* solve. With a
+          :class:`~repro.core.schedule_cache.ScheduleCache` injected a
+          warm cell may charge 0 (the prefix was paid by an earlier
+          cell); values and per-``t`` ``steps`` are bit-identical either
+          way.
+        * ``schedule_cache_hit`` / ``transformation_steps_reused`` —
+          present **only** when a schedule cache was used (RR/RRL via
+          the planner, or ``solve(..., schedule_cache=...)`` directly):
+          whether this solve reused a cached transformation, and how
+          many already-paid steps it inherited.
 
         Everything else (``k_ss``, ``K``/``L``, ``n_abscissae``, ...) is
         solver-specific and documented on the solver.

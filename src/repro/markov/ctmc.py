@@ -112,6 +112,7 @@ class CTMC:
             if len(labels) != n:
                 raise ModelError("labels length does not match state count")
         self._labels = labels
+        self._content_digest: str | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -179,6 +180,26 @@ class CTMC:
     def max_output_rate(self) -> float:
         """``max_i -Q[i,i]`` — the minimal valid randomization rate."""
         return float(self._out_rates.max())
+
+    def content_digest(self) -> str:
+        """Stable SHA-1 of the generator structure + initial distribution.
+
+        Two models with equal digests step bit-identically, which is what
+        makes cross-cell sharing (the planner's worker cache and the
+        RR/RRL schedule memo) safe. Computed once per instance — CTMCs
+        are immutable in practice.
+        """
+        if self._content_digest is None:
+            import hashlib
+
+            h = hashlib.sha1()
+            h.update(np.int64(self._n).tobytes())
+            h.update(np.ascontiguousarray(self._q.indptr).tobytes())
+            h.update(np.ascontiguousarray(self._q.indices).tobytes())
+            h.update(np.ascontiguousarray(self._q.data).tobytes())
+            h.update(np.ascontiguousarray(self._initial).tobytes())
+            self._content_digest = h.hexdigest()
+        return self._content_digest
 
     @property
     def n_transitions(self) -> int:

@@ -30,6 +30,7 @@ from repro.exceptions import TruncationError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
+from repro.solvers.registry import SolverSpec, register
 
 __all__ = ["MultistepRandomizationSolver"]
 
@@ -136,3 +137,11 @@ class MultistepRandomizationSolver:
                    "matrix_multiplications": total_matmuls,
                    "max_power_nnz": worst_nnz,
                    "base_nnz": p.nnz})
+
+
+register(SolverSpec(
+    name="MS",
+    constructor=MultistepRandomizationSolver,
+    summary="Multistep (power-skipping) randomization for TRR",
+    kernel_aware=True,
+))

@@ -22,6 +22,7 @@ from repro.exceptions import ConvergenceError
 from repro.markov.base import TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
+from repro.solvers.registry import SolverSpec, register
 
 __all__ = ["OdeSolver"]
 
@@ -95,3 +96,11 @@ class OdeSolver:
                                  stats={"rate": model.max_output_rate,
                                         "nfev": sol.nfev,
                                         "njev": getattr(sol, "njev", 0)})
+
+
+register(SolverSpec(
+    name="ODE",
+    constructor=OdeSolver,
+    summary="Stiff ODE integration baseline (cross-validation, no error "
+            "guarantee)",
+))

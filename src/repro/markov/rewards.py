@@ -65,6 +65,7 @@ class RewardStructure:
         if not np.all(np.isfinite(r)):
             raise MeasureError("reward rates must be finite")
         self._r = r
+        self._content_digest: str | None = None
 
     @classmethod
     def indicator(cls, n_states: int,
@@ -96,6 +97,17 @@ class RewardStructure:
     def max_rate(self) -> float:
         """``r_max = max_i r_i`` — all error budgets scale with this."""
         return float(self._r.max()) if self._r.size else 0.0
+
+    def content_digest(self) -> str:
+        """Stable SHA-1 of the rate vector (cross-cell cache identity)."""
+        if self._content_digest is None:
+            import hashlib
+
+            h = hashlib.sha1()
+            h.update(np.int64(self._r.size).tobytes())
+            h.update(np.ascontiguousarray(self._r).tobytes())
+            self._content_digest = h.hexdigest()
+        return self._content_digest
 
     def check_model(self, model: CTMC) -> None:
         """Raise unless the structure matches ``model``'s state count."""

@@ -35,6 +35,7 @@ from repro.markov.poisson import (
 from repro.markov.rewards import Measure, RewardStructure
 from repro.markov.standard import sr_required_steps
 from repro.markov.steady_state import stationary_distribution
+from repro.solvers.registry import SolverSpec, register
 
 __all__ = ["SteadyStateDetectionSolver"]
 
@@ -291,3 +292,14 @@ class SteadyStateDetectionSolver:
                            "detection_delta": st.delta,
                            "fused_width": width})
         return results  # type: ignore[return-value]
+
+
+register(SolverSpec(
+    name="RSD",
+    constructor=SteadyStateDetectionSolver,
+    summary="Randomization with steady-state detection (irreducible "
+            "models only)",
+    kernel_aware=True,
+    stack_fusable=True,
+    requires_irreducible=True,
+))

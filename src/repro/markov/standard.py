@@ -40,6 +40,7 @@ from repro.markov.poisson import (
     poisson_sf,
 )
 from repro.markov.rewards import Measure, RewardStructure
+from repro.solvers.registry import SolverSpec, register
 
 __all__ = ["StandardRandomizationSolver", "sr_required_steps"]
 
@@ -250,3 +251,15 @@ class StandardRandomizationSolver:
                     stats={"rate": rate, "shared_steps": n_max - 1,
                            "fused_width": width})
         return results  # type: ignore[return-value]
+
+
+register(SolverSpec(
+    name="SR",
+    constructor=StandardRandomizationSolver,
+    summary="Standard randomization (uniformization) — the classic "
+            "O(Λt) comparator",
+    kernel_aware=True,
+    stack_fusable=True,
+    predict_steps=sr_required_steps,
+    step_budget_kwarg="max_steps",
+))

@@ -68,6 +68,13 @@ class SolveService:
         a model (default). ``False`` plans one task per request — same
         numbers, per-cell stepping price — which is the A/B baseline the
         verify paths compare against.
+    memoize:
+        Planner policy: let schedule-memoizable solvers (RR/RRL, per
+        their registry capability) share the ``K + L`` schedule
+        transformation across cells through each worker's
+        :class:`~repro.core.schedule_cache.ScheduleCache` (default).
+        ``False`` rebuilds the transformation per cell — same numbers,
+        the A/B baseline for the memoization verify.
     runner:
         A pre-built runner to execute on instead (e.g. one shared across
         several services).
@@ -80,6 +87,7 @@ class SolveService:
                  task_timeout: float | None = None,
                  mp_context: str | None = None,
                  fuse: bool = True,
+                 memoize: bool = True,
                  runner: BatchRunner | None = None) -> None:
         if runner is None:
             runner = BatchRunner(max_workers=workers,
@@ -88,12 +96,19 @@ class SolveService:
                                  mp_context=mp_context)
         self._runner = runner
         self._fuse = bool(fuse)
+        self._memoize = bool(memoize)
 
     @property
     def fuse(self) -> bool:
         """Whether this service compiles requests through the fusion
         planner."""
         return self._fuse
+
+    @property
+    def memoize(self) -> bool:
+        """Whether this service lets RR/RRL cells share schedule
+        transformations per worker."""
+        return self._memoize
 
     @property
     def runner(self) -> BatchRunner:
@@ -103,7 +118,8 @@ class SolveService:
     def plan(self, requests: Iterable[SolveRequest]) -> ExecutionPlan:
         """Compile requests under this service's planner policy (without
         executing — useful for cost inspection and ``plan.summary()``)."""
-        return plan_requests(requests, fuse=self._fuse)
+        return plan_requests(requests, fuse=self._fuse,
+                             memoize=self._memoize)
 
     def execute(self,
                 requests: Iterable[SolveRequest],
@@ -117,7 +133,8 @@ class SolveService:
         """
         requests = list(requests)
         tasks = list(tasks)
-        plan = plan_requests(requests, fuse=self._fuse)
+        plan = plan_requests(requests, fuse=self._fuse,
+                             memoize=self._memoize)
         outcomes = self._runner.run(plan.tasks + tasks)
         return ServiceResult(
             outcomes=plan.scatter(outcomes[:plan.n_tasks]),

@@ -1,0 +1,37 @@
+"""Solver registry package.
+
+:mod:`repro.solvers.registry` is the single dispatch authority for the
+transient solvers: every solver self-registers a capability-declaring
+:class:`~repro.solvers.registry.SolverSpec`, and the runner, planner,
+protocol and CLI all resolve method tags through it.
+"""
+
+from repro.solvers.registry import (
+    SolverSpec,
+    get_solver,
+    get_spec,
+    is_registered,
+    kernel_aware_methods,
+    known_methods,
+    methods_with,
+    register,
+    schedule_memoizable_methods,
+    specs,
+    stack_fusable_methods,
+    unregister,
+)
+
+__all__ = [
+    "SolverSpec",
+    "register",
+    "unregister",
+    "get_spec",
+    "get_solver",
+    "known_methods",
+    "specs",
+    "methods_with",
+    "stack_fusable_methods",
+    "kernel_aware_methods",
+    "schedule_memoizable_methods",
+    "is_registered",
+]

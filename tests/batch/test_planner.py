@@ -24,7 +24,7 @@ from repro.batch.scenarios import (
     scenario_requests,
     solve_scenarios,
 )
-from repro.exceptions import ModelError
+from repro.exceptions import ModelError, UnknownMethodError
 from repro.markov.ctmc import CTMC
 from repro.markov.rewards import Measure, RewardStructure
 
@@ -191,11 +191,15 @@ class TestExecution:
         assert [o.key for o in outs] == [(s.name, "RSD") for s in scens]
         assert all(o.ok for o in outs)
 
-    def test_unknown_method_fails_per_request(self):
-        outs = execute_requests([_request(method="FFT"), _request()])
-        assert outs[0].ok is False
-        assert outs[0].error_type == "ValueError"
-        assert outs[1].ok is True
+    def test_unknown_method_rejected_at_construction(self):
+        # Since the solver registry became the dispatch authority, a bad
+        # method tag fails when the request is *built* (with the known-
+        # method list), not deep inside a worker. UnknownMethodError
+        # subclasses ValueError for pre-registry callers.
+        with pytest.raises(UnknownMethodError, match="unknown method"):
+            _request(method="FFT")
+        with pytest.raises(ValueError, match="known methods"):
+            _request(method="FFT")
 
 
 class TestFailureIsolation:

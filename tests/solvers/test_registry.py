@@ -1,0 +1,228 @@
+"""The capability-declaring solver registry: registration semantics,
+capability-derived dispatch sets, and unknown-method errors across every
+entry point (runner, planner, protocol, CLI)."""
+
+import warnings
+
+import pytest
+
+from repro.exceptions import (
+    ProtocolError,
+    RegistryError,
+    UnknownMethodError,
+)
+from repro.solvers import registry
+from repro.solvers.registry import SolverSpec
+
+EXPECTED_METHODS = {"AU", "MS", "ODE", "RR", "RRL", "RSD", "SR"}
+
+
+class TestRegistrations:
+    def test_all_builtin_solvers_registered(self):
+        assert set(registry.known_methods()) == EXPECTED_METHODS
+
+    def test_specs_sorted_and_complete(self):
+        specs = registry.specs()
+        assert [s.name for s in specs] == sorted(EXPECTED_METHODS)
+        assert all(s.summary for s in specs)
+
+    def test_case_insensitive_lookup(self):
+        assert registry.get_spec("rrl").name == "RRL"
+        assert registry.is_registered("sr")
+        assert not registry.is_registered("FFT")
+
+    def test_get_solver_forwards_kwargs(self):
+        solver = registry.get_solver("RRL", t_factor=4.0)
+        assert solver._t_factor == 4.0
+
+    def test_reregistration_is_idempotent(self):
+        spec = registry.get_spec("SR")
+        before = registry.known_methods()
+        assert registry.register(spec) is spec
+        # An equal rebuilt spec is also a no-op keeping the entry.
+        import dataclasses
+
+        clone = dataclasses.replace(spec)
+        registry.register(clone)
+        assert registry.known_methods() == before
+        assert registry.get_spec("SR") is spec
+
+    def test_conflicting_registration_raises(self):
+        spec = SolverSpec(name="SR", constructor=lambda **kw: None,
+                          summary="impostor")
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register(spec)
+
+    def test_capability_change_is_a_conflict_even_same_constructor(self):
+        # Capability flags drive planner policy: flipping one under an
+        # existing name must be an explicit replace, never a silent no-op.
+        import dataclasses
+
+        spec = registry.get_spec("SR")
+        flipped = dataclasses.replace(spec, stack_fusable=False)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register(flipped)
+        assert registry.get_spec("SR").stack_fusable is True
+
+    def test_register_replace_and_unregister(self):
+        spec = SolverSpec(name="XX", constructor=lambda **kw: None,
+                          summary="scratch solver")
+        try:
+            registry.register(spec)
+            assert registry.is_registered("XX")
+            other = SolverSpec(name="XX", constructor=lambda **kw: 1,
+                               summary="other")
+            with pytest.raises(RegistryError):
+                registry.register(other)
+            registry.register(other, replace=True)
+            assert registry.get_spec("xx") is other
+        finally:
+            registry.unregister("XX")
+        assert not registry.is_registered("XX")
+
+    def test_lower_case_name_rejected(self):
+        with pytest.raises(RegistryError, match="upper-case"):
+            SolverSpec(name="sr", constructor=lambda **kw: None,
+                       summary="bad")
+
+
+class TestCapabilities:
+    def test_capability_sets(self):
+        assert registry.stack_fusable_methods() == {"SR", "RSD"}
+        assert registry.schedule_memoizable_methods() == {"RR", "RRL"}
+        assert registry.kernel_aware_methods() == \
+            EXPECTED_METHODS - {"ODE"}
+
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(RegistryError, match="unknown capability"):
+            registry.methods_with("quantum_aware")
+
+    def test_capabilities_listing(self):
+        assert registry.get_spec("RRL").capabilities() == \
+            ("kernel_aware", "schedule_memoizable")
+        assert registry.get_spec("ODE").capabilities() == ()
+
+    def test_planner_sets_are_registry_derived_and_deprecated(self):
+        import repro.batch.planner as planner
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fusable = planner.FUSABLE_METHODS
+            kernel_aware = planner.KERNEL_AWARE_METHODS
+        assert fusable == registry.stack_fusable_methods()
+        assert kernel_aware == registry.kernel_aware_methods()
+        assert all(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert len(caught) == 2
+
+    def test_schedule_fingerprint_ignores_solution_phase_knobs(self):
+        # The fingerprint hook declares what the K+L transformation
+        # depends on: RRL's t_factor / RR's inner_max_steps tune only
+        # the per-t solution phase, so they must not fragment the cache.
+        for method in registry.schedule_memoizable_methods():
+            fp = registry.get_spec(method).schedule_fingerprint
+            assert fp({"t_factor": 4.0}) == fp({})
+            assert fp({"inner_max_steps": 7}) == fp({})
+            assert fp({"regenerative": 3}) != fp({})
+            assert fp({"rate": 2.0}) != fp({})
+
+    def test_step_budget_metadata(self):
+        assert registry.get_spec("SR").step_budget_kwarg == "max_steps"
+        assert registry.get_spec("RR").step_budget_kwarg == \
+            "inner_max_steps"
+        assert registry.get_spec("RRL").step_budget_kwarg is None
+        assert registry.get_spec("SR").predict_steps is not None
+
+    def test_unmapped_step_budget_kwarg_raises_structured_error(self):
+        import dataclasses
+
+        from repro.analysis.experiments import ExperimentConfig
+
+        alien = dataclasses.replace(registry.get_spec("SR"),
+                                    step_budget_kwarg="budget")
+        with pytest.raises(RegistryError, match="step_budget_kwarg"):
+            ExperimentConfig().step_budget_for(alien)
+
+    def test_table_labels(self):
+        assert registry.get_spec("RR").table_label == "RR/RRL"
+        assert registry.get_spec("RRL").table_label == "RR/RRL"
+        assert registry.get_spec("RSD").table_label == "RSD"
+
+
+class TestUnknownMethodEntryPoints:
+    """Every dispatch layer must reject an unknown tag with a structured
+    error carrying the known-method list."""
+
+    def test_runner_get_solver(self):
+        from repro.analysis.runner import get_solver
+
+        with pytest.raises(UnknownMethodError, match="known methods"):
+            get_solver("FFT")
+        # Backward compatibility: still a ValueError.
+        with pytest.raises(ValueError, match="unknown method"):
+            get_solver("FFT")
+
+    def test_runner_registry_view(self):
+        from repro.analysis.runner import SOLVER_REGISTRY
+
+        assert set(SOLVER_REGISTRY) == EXPECTED_METHODS
+        assert "FFT" not in SOLVER_REGISTRY
+        with pytest.raises(KeyError):
+            SOLVER_REGISTRY["FFT"]
+
+    def test_planner_request_construction(self):
+        from repro.batch.planner import SolveRequest
+        from repro.batch.scenarios import Scenario
+        from repro.markov.rewards import Measure
+
+        scenario = Scenario(name="s", family="birth_death",
+                            params={"n": 4, "birth": 1.0, "death": 2.0},
+                            times=(1.0,), eps=1e-8)
+        with pytest.raises(UnknownMethodError, match="FFT"):
+            SolveRequest(scenario=scenario, measure=Measure.TRR,
+                         times=(1.0,), eps=1e-8, method="FFT")
+
+    def test_protocol_decode(self):
+        from repro.batch.planner import SolveRequest
+        from repro.batch.scenarios import Scenario
+        from repro.markov.rewards import Measure
+        from repro.service.protocol import request_from_dict, \
+            request_to_dict
+
+        scenario = Scenario(name="s", family="birth_death",
+                            params={"n": 4, "birth": 1.0, "death": 2.0},
+                            times=(1.0,), eps=1e-8)
+        wire = request_to_dict(SolveRequest(
+            scenario=scenario, measure=Measure.TRR, times=(1.0,),
+            eps=1e-8, method="RRL"))
+        wire["method"] = "FFT"  # a journal from an alien deployment
+        with pytest.raises(ProtocolError, match="known methods"):
+            request_from_dict(wire)
+
+    def test_cli_solve_choices_generated_from_registry(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit) as exc:
+            parser.parse_args(["solve", "--method", "FFT"])
+        assert exc.value.code == 2
+        assert "FFT" in capsys.readouterr().err
+
+    def test_cli_batch_submit_unknown_method(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["batch", "submit", "--queue", str(tmp_path / "q"),
+                     "--scenarios", "birth_death", "--methods", "FFT"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown method" in err and "RRL" in err
+
+    def test_cli_solvers_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["solvers", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_METHODS:
+            assert name in out
+        assert "schedule-memoizable" in out
+        assert "stack-fusable" in out

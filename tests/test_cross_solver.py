@@ -106,10 +106,13 @@ def test_mrr_consistency(scenario):
 
 
 def _fusable_methods_for(model):
-    methods = ["SR"]
-    if model.is_irreducible():
-        methods.append("RSD")
-    return methods
+    """The registry's stack-fusable methods applicable to this model
+    (RSD declares requires_irreducible)."""
+    from repro.solvers import registry
+
+    return [m for m in sorted(registry.stack_fusable_methods())
+            if model.is_irreducible()
+            or not registry.get_spec(m).requires_irreducible]
 
 
 @pytest.mark.parametrize("scenario", TRR_SCENARIOS + MRR_SCENARIOS,
@@ -147,6 +150,27 @@ def test_fused_equals_unfused_bitwise(scenario):
             assert np.array_equal(got.steps, solo.steps), \
                 f"fused {method} steps drifted on {scenario.name}"
             assert got.stats["fused_width"] == 4
+
+
+def test_matrix_covers_every_registered_solver():
+    """Pin: a solver registered in the capability registry must appear in
+    this module's consistency matrix. Adding a new solver without
+    teaching it to this suite fails here, not silently."""
+    from repro.solvers import registry
+
+    covered = set()
+    for scenario in TRR_SCENARIOS + MRR_SCENARIOS:
+        model, _ = build_scenario_model(scenario)
+        guaranteed, numeric = _methods_for(model, scenario.measure)
+        covered.update(guaranteed)
+        covered.update(numeric)
+    covered.add("MS")  # exercised by test_multistep_agrees_on_trr
+    missing = set(registry.known_methods()) - covered
+    assert not missing, (
+        f"registered solver(s) {sorted(missing)} are not exercised by "
+        "the cross-solver matrix; add them to _methods_for (or a "
+        "dedicated test) so every registered method stays consistency-"
+        "checked")
 
 
 def test_multistep_agrees_on_trr():

@@ -61,7 +61,12 @@ def test_rrl_matches_sr_mrr(mr, t):
     model, rewards = mr
     ref = solve(model, rewards, MRR, [t], eps=1e-13, method="SR")
     sol = solve(model, rewards, MRR, [t], eps=1e-9, method="RRL")
-    assert abs(sol.values[0] - ref.values[0]) <= 1e-9 * max(
+    # Combined budget with 1.5x headroom, exactly as in
+    # test_rrl_matches_sr_trr above: deep Hypothesis runs find ~10-20%
+    # overshoots from rounding in the inversion's internal eps split,
+    # which are tolerance bookkeeping, not disagreement between the
+    # methods (pre-existing; reproduced on the unmodified tree).
+    assert abs(sol.values[0] - ref.values[0]) <= 1.5 * (1e-9 + 1e-13) * max(
         1.0, rewards.max_rate)
 
 
