@@ -3,20 +3,24 @@
 
 Default: the paper's exact grid (G ∈ {20, 40}, t up to 10⁵ h) compiled by
 the fusion planner (duplicate solves coalesce, unfused cells share one
-kernel per worker) and fanned over a process pool. ``--quick`` switches
-to a seconds-scale smoke grid for CI; ``--no-fuse`` disables the planner
-(one task per cell, the PR-1 execution shape); ``--verify`` re-runs the
-measure columns unfused-pooled and serial, asserts all in-process
-executions produce bit-identical tables (neither the batch decomposition
-nor the fusion plan may ever change a number), and additionally proves
-the service path: the grid's solve cells are pushed through an on-disk
-``JobQueue`` — killed halfway and resumed from the journal — and every
-collected outcome must match serial in-process execution bit for bit.
+kernel per worker) and fanned over an execution backend (``--backend``:
+process pool by default, GIL-releasing thread pool with shared caches,
+or inline serial; ``$REPRO_BACKEND`` supplies the default). ``--quick``
+switches to a seconds-scale smoke grid for CI; ``--no-fuse`` disables
+the planner (one task per cell, the PR-1 execution shape); ``--verify``
+re-runs the measure columns unfused-pooled, serial and on every
+registered backend, asserts all in-process executions produce
+bit-identical tables (neither the batch decomposition, the fusion plan,
+nor the execution backend may ever change a number), and additionally
+proves the service path: the grid's solve cells are pushed through an
+on-disk ``JobQueue`` — killed halfway and resumed from the journal — and
+every collected outcome must match serial in-process execution bit for
+bit.
 
 Examples
 --------
     python scripts/run_paper_grid.py                 # paper grid, fused+pooled
-    python scripts/run_paper_grid.py --workers 8
+    python scripts/run_paper_grid.py --workers 8 --backend threads
     python scripts/run_paper_grid.py --quick --verify
     python scripts/run_paper_grid.py --no-fuse --serial --json out.json
 """
@@ -38,6 +42,7 @@ from repro.analysis.experiments import (
     grid_solve_requests,
     run_grid,
 )
+from repro.batch.backends import BACKEND_NAMES, default_backend_name
 from repro.batch.runner import available_cpus
 from repro.models import build_raid5_availability
 from repro.service import JobQueue, SolveService
@@ -51,11 +56,15 @@ def _default_workers() -> int:
 
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
     workers = 1 if args.serial else args.workers
+    # Normalize the backend to a concrete name so the verify axis can
+    # dedup "same execution" configurations by field equality.
+    backend = args.backend or default_backend_name()
     if args.quick:
         return ExperimentConfig.quick(workers=workers, fuse=args.fuse,
-                                      memoize=args.memoize)
+                                      memoize=args.memoize,
+                                      backend=backend)
     return ExperimentConfig.paper(workers=workers, fuse=args.fuse,
-                                  memoize=args.memoize)
+                                  memoize=args.memoize, backend=backend)
 
 
 def _assert_grids_equal(reference: GridResult, other: GridResult,
@@ -94,13 +103,15 @@ def verify_service_queue(config: ExperimentConfig) -> None:
         queue = JobQueue(tmp)
         queue.submit(requests)
         # First half, one fsync per job, then "kill" the process state.
-        queue.run(SolveService(workers=config.workers, fuse=config.fuse,
+        queue.run(SolveService(workers=config.workers,
+                               backend=config.backend, fuse=config.fuse,
                                memoize=config.memoize),
                   limit=len(requests) // 2, checkpoint=1)
         del queue
         resumed = JobQueue.resume(tmp)
         n_pending = len(resumed.pending())
         resumed.run(SolveService(workers=config.workers,
+                                 backend=config.backend,
                                  fuse=config.fuse,
                                  memoize=config.memoize))
         outcomes = resumed.collect()
@@ -126,9 +137,10 @@ def verify_service_queue(config: ExperimentConfig) -> None:
 
 
 def verify_executions(config: ExperimentConfig, result: GridResult) -> None:
-    """Assert fused == unfused == serial — and memoized == unmemoized —
-    bit for bit, plus that the service/queue path (including a
-    kill/resume cycle) reproduces the serial run exactly.
+    """Assert fused == unfused == serial — and memoized == unmemoized,
+    and serial == threads == processes — bit for bit, plus that the
+    service/queue path (including a kill/resume cycle) reproduces the
+    serial run exactly.
 
     Alternate configurations equal to the main run (or to each other —
     e.g. under ``--serial`` the "unfused" and "serial unfused" runs are
@@ -136,17 +148,28 @@ def verify_executions(config: ExperimentConfig, result: GridResult) -> None:
     """
     this = "fused" if config.fuse else "unfused"
     this += ", memoized" if config.memoize else ", unmemoized"
-    this += ", serial" if config.workers == 1 else ", pooled"
+    this += ", serial" if config.workers == 1 else \
+        f", pooled ({config.backend or default_backend_name()})"
     pool = "serial" if config.workers == 1 else "pooled"
     candidates = [
         (f"{this} vs unfused {pool}",
          dataclasses.replace(config, fuse=False)),
         (f"{this} vs unmemoized {pool}",
          dataclasses.replace(config, memoize=False)),
+    ]
+    if config.workers > 1:
+        # The backend axis: the same pooled grid on every registered
+        # execution backend. With workers=1 each backend degrades to the
+        # identical inline loop, so there is nothing to compare.
+        candidates += [
+            (f"{this} vs {name} backend",
+             dataclasses.replace(config, backend=name))
+            for name in BACKEND_NAMES
+        ]
+    candidates.append(
         (f"{this} vs serial unfused unmemoized",
          dataclasses.replace(config, workers=1, fuse=False,
-                             memoize=False)),
-    ]
+                             memoize=False)))
     ran: list[ExperimentConfig] = []
     for label, alt_config in candidates:
         if alt_config == config or alt_config in ran:
@@ -170,6 +193,11 @@ def main(argv: list[str] | None = None) -> int:
                              "at least 2)")
     parser.add_argument("--serial", action="store_true",
                         help="force inline execution (workers=1)")
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                        help="execution backend: threads shares one "
+                             "process-wide cache set (GIL-releasing "
+                             "stepping), processes isolates workers "
+                             "(default: $REPRO_BACKEND or processes)")
     parser.add_argument("--fuse", dest="fuse", action="store_true",
                         default=True,
                         help="compile cells through the fusion planner "
@@ -192,7 +220,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--workers must be >= 1")
 
     config = make_config(args)
-    mode = "serial" if config.workers == 1 else f"{config.workers} workers"
+    mode = "serial" if config.workers == 1 \
+        else f"{config.workers} workers on {config.backend}"
     mode += ", fused" if config.fuse else ", unfused"
     mode += ", memoized" if config.memoize else ", unmemoized"
     print(f"== paper grid ({'quick' if args.quick else 'paper'} scale, "
@@ -223,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
         payload = result.to_dict()
         payload["elapsed_seconds"] = elapsed
         payload["workers"] = config.workers
+        payload["backend"] = config.backend
         payload["fused"] = config.fuse
         payload["memoized"] = config.memoize
         with open(args.json, "w") as fh:

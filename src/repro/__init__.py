@@ -76,12 +76,26 @@ from repro.core import (
     ScheduleCache,
 )
 from repro.solvers.registry import SolverSpec
+from repro.batch.backends import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 from repro.batch.kernel import UniformizationKernel
 from repro.batch.planner import SolveRequest
 from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
 from repro.batch.scenarios import Scenario, generate_scenarios
 from repro.service import JobQueue, ServiceResult, SolveService
 
+# 2.2.0: execution became a pluggable backend layer
+# (``repro.batch.backends``): BatchRunner/SolveService/ExperimentConfig
+# and the CLI select ``serial`` / ``threads`` / ``processes`` (default
+# honours ``$REPRO_BACKEND``). The thread backend shares the
+# process-wide kernel/window/schedule caches (now lock-protected)
+# across workers with zero serialization; all backends are bit-for-bit
+# identical. Additive: the process pool remains the default.
+#
 # 2.1.0: the capability-declaring solver registry
 # (``repro.solvers.registry``) became the one dispatch authority — every
 # solver self-registers a SolverSpec, and the runner, planner, protocol
@@ -90,7 +104,7 @@ from repro.service import JobQueue, ServiceResult, SolveService
 # 2.0 call sites keep working (``FUSABLE_METHODS`` /
 # ``KERNEL_AWARE_METHODS`` remain as deprecated registry-derived
 # aliases).
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "__version__",
@@ -109,6 +123,7 @@ __all__ = [
     "SolverSpec", "ScheduleCache",
     # batch subsystem
     "UniformizationKernel", "BatchRunner", "BatchTask", "BatchOutcome",
+    "Backend", "SerialBackend", "ThreadBackend", "ProcessBackend",
     "Scenario", "generate_scenarios", "SolveRequest",
     # service layer (canonical batch API)
     "SolveService", "ServiceResult", "JobQueue",

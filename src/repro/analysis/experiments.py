@@ -133,9 +133,16 @@ class ExperimentConfig:
     spare_disks: int = 3
     spare_controllers: int = 1
     workers: int = 1
-    """Process-pool size for the grid; 1 = inline (identical results)."""
+    """Pool size for the grid; 1 = inline (identical results)."""
     chunk_size: int = 1
     """Tasks per worker round-trip (see :class:`BatchRunner`)."""
+    backend: str | None = None
+    """Execution backend for the grid: ``"serial"``, ``"threads"``
+    (GIL-releasing pool with process-wide shared caches),
+    ``"processes"`` (isolated workers, per-worker caches) or ``None``
+    for the ``$REPRO_BACKEND``-aware default. Every backend produces
+    bit-identical numbers — this is an execution knob (see
+    :mod:`repro.batch.backends`)."""
     fuse: bool = True
     """Compile solve columns through the fusion planner (coalescing +
     per-worker kernel cache); False plans one task per cell. Either way
@@ -150,20 +157,23 @@ class ExperimentConfig:
     def paper(cls, *, sr_step_budget: int = 10_000_000,
               rr_inner_budget: int = 10_000_000,
               workers: int = 1, fuse: bool = True,
-              memoize: bool = True) -> "ExperimentConfig":
+              memoize: bool = True,
+              backend: str | None = None) -> "ExperimentConfig":
         """The paper's exact grid (G ∈ {20,40}, t up to 10⁵ h)."""
         return cls(groups=PAPER_GROUPS, times=PAPER_TIMES,
                    sr_step_budget=sr_step_budget,
                    rr_inner_budget=rr_inner_budget,
-                   workers=workers, fuse=fuse, memoize=memoize)
+                   workers=workers, fuse=fuse, memoize=memoize,
+                   backend=backend)
 
     @classmethod
     def quick(cls, *, workers: int = 1, fuse: bool = True,
-              memoize: bool = True) -> "ExperimentConfig":
+              memoize: bool = True,
+              backend: str | None = None) -> "ExperimentConfig":
         """A seconds-scale smoke grid (CI, queue end-to-end tests)."""
         return cls(groups=(2, 3), times=(1.0, 10.0, 100.0), eps=1e-10,
                    sr_step_budget=200_000, workers=workers, fuse=fuse,
-                   memoize=memoize)
+                   memoize=memoize, backend=backend)
 
     def service(self) -> SolveService:
         """The :class:`~repro.service.service.SolveService` this
@@ -174,6 +184,7 @@ class ExperimentConfig:
         """
         return SolveService(workers=self.workers,
                             chunk_size=self.chunk_size,
+                            backend=self.backend,
                             fuse=self.fuse,
                             memoize=self.memoize)
 

@@ -39,7 +39,17 @@ __all__ = [
     "shared_fox_glynn",
     "fox_glynn_cache_info",
     "fox_glynn_cache_clear",
+    "shared_poisson_tail",
+    "poisson_tail_cache_info",
+    "poisson_tail_cache_clear",
     "kernel_build_count",
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKEND_NAMES",
+    "default_backend_name",
+    "resolve_backend",
     "BatchRunner",
     "BatchTask",
     "BatchOutcome",
@@ -63,7 +73,17 @@ _EXPORTS = {
     "shared_fox_glynn": "repro.batch.kernel",
     "fox_glynn_cache_info": "repro.batch.kernel",
     "fox_glynn_cache_clear": "repro.batch.kernel",
+    "shared_poisson_tail": "repro.batch.kernel",
+    "poisson_tail_cache_info": "repro.batch.kernel",
+    "poisson_tail_cache_clear": "repro.batch.kernel",
     "kernel_build_count": "repro.batch.kernel",
+    "Backend": "repro.batch.backends",
+    "SerialBackend": "repro.batch.backends",
+    "ThreadBackend": "repro.batch.backends",
+    "ProcessBackend": "repro.batch.backends",
+    "BACKEND_NAMES": "repro.batch.backends",
+    "default_backend_name": "repro.batch.backends",
+    "resolve_backend": "repro.batch.backends",
     "BatchRunner": "repro.batch.runner",
     "BatchTask": "repro.batch.runner",
     "BatchOutcome": "repro.batch.runner",

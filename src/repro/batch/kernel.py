@@ -33,6 +33,7 @@ they warm up.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import TYPE_CHECKING
 
@@ -40,7 +41,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import ModelError
-from repro.markov.poisson import FoxGlynnWindow, fox_glynn
+from repro.markov.poisson import FoxGlynnWindow, fox_glynn, poisson_sf
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.markov.ctmc import CTMC
@@ -52,13 +53,26 @@ __all__ = [
     "shared_fox_glynn",
     "fox_glynn_cache_info",
     "fox_glynn_cache_clear",
+    "shared_poisson_tail",
+    "poisson_tail_cache_info",
+    "poisson_tail_cache_clear",
     "kernel_build_count",
 ]
 
 #: Process-wide count of kernel constructions. The fusion planner's whole
 #: point is that a grid over one model builds the CSR once per (model,
-#: worker); the benchmark asserts that by diffing this counter.
+#: worker) — and once per (model, *process*) under the thread backend —
+#: so the benchmarks assert sharing by diffing this counter. Incremented
+#: under a lock: the thread backend constructs kernels from pool workers,
+#: and an unlocked ``count += 1`` loses updates under contention.
 _BUILD_COUNT = 0
+_BUILD_COUNT_LOCK = threading.Lock()
+
+
+def _record_kernel_build() -> None:
+    global _BUILD_COUNT
+    with _BUILD_COUNT_LOCK:
+        _BUILD_COUNT += 1
 
 
 def kernel_build_count() -> int:
@@ -95,6 +109,56 @@ def fox_glynn_cache_clear() -> None:
     _fox_glynn_cached.cache_clear()
 
 
+#: Distinct (Λt, n) Poisson right-tail arrays kept alive. One array is
+#: O(n) floats and a paper-style MRR sweep touches one (Λt, n) pair per
+#: (model, t, ε) cell, so a small cache covers every realistic grid.
+_POISSON_TAIL_CACHE_SIZE = 256
+
+#: Largest ``n`` worth caching (~0.5 MB per array). SR at extreme Λt
+#: needs tails millions of entries long; 256 of those pinned
+#: process-wide would hold gigabytes in a long-lived service worker, so
+#: oversized requests are computed fresh (and garbage-collected per
+#: cell, exactly the pre-cache behaviour) instead of cached.
+_POISSON_TAIL_MAX_N = 65_536
+
+
+@lru_cache(maxsize=_POISSON_TAIL_CACHE_SIZE)
+def _poisson_tail_cached(rate_time: float, n: int) -> np.ndarray:
+    tails = poisson_sf(np.arange(n, dtype=np.float64), rate_time)
+    tails.setflags(write=False)  # shared across callers: read-only
+    return tails
+
+
+def shared_poisson_tail(rate_time: float, n: int) -> np.ndarray:
+    """``P[N(Λt) > k]`` for ``k = 0 .. n-1`` from a process-wide LRU.
+
+    The MRR weighting of :mod:`repro.markov.standard` recomputes this
+    array for every cell sharing a ``(Λt, n)`` key — a grid fans the same
+    model/horizon pair over many reward structures, and under the thread
+    backend every worker would redo the identical ``poisson_sf`` sweep.
+    The returned array is shared and marked read-only; values are
+    bit-identical to an uncached ``poisson_sf(np.arange(n), Λt)`` call
+    (it *is* that call, performed once). Arrays beyond
+    ``_POISSON_TAIL_MAX_N`` entries bypass the cache — identical values,
+    per-call lifetime — so pathological horizons cannot pin gigabytes.
+    """
+    n = int(n)
+    if n > _POISSON_TAIL_MAX_N:
+        return poisson_sf(np.arange(n, dtype=np.float64),
+                          float(rate_time))
+    return _poisson_tail_cached(float(rate_time), n)
+
+
+def poisson_tail_cache_info():
+    """``functools.lru_cache`` statistics of the shared tail cache."""
+    return _poisson_tail_cached.cache_info()
+
+
+def poisson_tail_cache_clear() -> None:
+    """Drop every cached tail array (tests; worker hygiene)."""
+    _poisson_tail_cached.cache_clear()
+
+
 class UniformizationKernel:
     """Vectorized stepping engine for one randomized DTMC.
 
@@ -115,14 +179,20 @@ class UniformizationKernel:
     Stacks are stored *column-wise*: shape ``(n_states, k)`` holds ``k``
     distributions, so one ``Pᵀ @ stack`` product advances all of them.
     1-D vectors work everywhere a stack does.
+
+    A kernel is safe to *share across threads* (the thread backend's
+    whole point): stepping only reads the CSR matrices and returns fresh
+    arrays. The one mutable bit, the informational :attr:`steps_done`
+    counter, is deliberately not locked — a per-step lock would tax the
+    hot path for a diagnostic number — so under concurrent stepping it
+    is a lower bound, not an exact count.
     """
 
     def __init__(self,
                  transition: sparse.spmatrix | np.ndarray | None,
                  rate: float | None = None,
                  generator: sparse.spmatrix | None = None) -> None:
-        global _BUILD_COUNT
-        _BUILD_COUNT += 1
+        _record_kernel_build()
         if transition is None and generator is None:
             raise ModelError("need a transition matrix or a generator")
         self._pt: sparse.csr_matrix | None = None
@@ -269,17 +339,23 @@ class UniformizationKernel:
         if pi.shape[0] != self._n or r.shape != (self._n,):
             raise ModelError("initial/rewards shape does not match kernel")
         out = np.empty((n_max,) + pi.shape[1:], dtype=np.float64)
+        # Contract column-by-column over contiguous copies: BLAS rounds a
+        # gemv (and even a strided dot) differently from the contiguous
+        # dot of the single-vector path, and the bit-for-bit batching
+        # guarantee matters more than the O(nk) copy — stepping dominates
+        # the cost anyway. One preallocated scratch column serves every
+        # (step, column) pair: copyto into it is the same contiguous
+        # layout (hence the same dot, bit for bit) as a fresh
+        # ascontiguousarray per column, without n_max × k allocations.
+        scratch = np.empty(self._n, dtype=np.float64) if pi.ndim > 1 \
+            else None
         for n in range(n_max):
             if pi.ndim == 1:
                 out[n] = r @ pi
             else:
-                # Contract column-by-column over contiguous copies: BLAS
-                # rounds a gemv (and even a strided dot) differently from
-                # the contiguous dot of the single-vector path, and the
-                # bit-for-bit batching guarantee matters more than the
-                # O(nk) copy — stepping dominates the cost anyway.
                 for j in range(pi.shape[1]):
-                    out[n, j] = r @ np.ascontiguousarray(pi[:, j])
+                    np.copyto(scratch, pi[:, j])
+                    out[n, j] = r @ scratch
             if n + 1 < n_max:
                 pi = self.step(pi)
         return out

@@ -41,6 +41,7 @@ method tag): it is the unit of work the service layer puts on the wire
 
 from __future__ import annotations
 
+import threading
 import warnings
 from collections import OrderedDict
 from collections.abc import Iterable, Mapping
@@ -219,11 +220,15 @@ def _fusion_key(request: SolveRequest) -> tuple:
             _freeze(request.solver_kwargs))
 
 
-# -- per-worker model/kernel cache -----------------------------------------
+# -- per-process model/kernel cache ----------------------------------------
 
-#: Models (and their kernels) a worker process keeps warm. A paper-style
-#: grid touches a handful of models; 8 covers every in-tree sweep while
-#: bounding a long-lived worker's memory.
+#: Models (and their kernels) an execution worker keeps warm. A
+#: paper-style grid touches a handful of models; 8 covers every in-tree
+#: sweep while bounding a long-lived worker's memory. The cache is
+#: *process-wide*: each process-pool worker owns a private copy (the
+#: classic per-worker LRU), while every thread-backend worker shares this
+#: one — the whole point of the thread backend is that a grid over one
+#: model then builds one model + kernel total instead of one per worker.
 _WORKER_CACHE_SIZE = 8
 
 #: fingerprint -> [model, scenario_default_rewards | None, kernel | None]
@@ -231,24 +236,41 @@ _worker_cache: "OrderedDict[tuple, list]" = OrderedDict()
 _worker_cache_hits = 0
 _worker_cache_misses = 0
 
+#: Guards the cache dict, its hit/miss counters, and — crucially — the
+#: build-on-miss sections: holding it across ``scenario.build()`` and
+#: kernel construction is what turns "at most one build per worker" into
+#: "exactly one build per process" under the thread backend (two threads
+#: missing the same fingerprint must not both build). Model/kernel
+#: construction is exactly the work the cache exists to amortize, so
+#: serializing it is the semantics, not a compromise; the post-build
+#: solve runs outside the lock.
+_worker_cache_lock = threading.RLock()
+
 
 def worker_cache_clear() -> None:
     """Drop this process's model/kernel cache *and* its RR/RRL schedule
     cache (tests, worker hygiene) — the two share a lifetime."""
     global _worker_cache_hits, _worker_cache_misses
-    _worker_cache.clear()
-    _worker_cache_hits = 0
-    _worker_cache_misses = 0
+    with _worker_cache_lock:
+        _worker_cache.clear()
+        _worker_cache_hits = 0
+        _worker_cache_misses = 0
     process_schedule_cache().clear()
 
 
 def worker_cache_info() -> dict[str, int]:
     """Hit/miss/size statistics of this process's model/kernel cache."""
-    return {"hits": _worker_cache_hits, "misses": _worker_cache_misses,
-            "size": len(_worker_cache), "max_size": _WORKER_CACHE_SIZE}
+    with _worker_cache_lock:
+        return {"hits": _worker_cache_hits, "misses": _worker_cache_misses,
+                "size": len(_worker_cache), "max_size": _WORKER_CACHE_SIZE}
 
 
 def _cache_entry(request: SolveRequest) -> list:
+    """Fetch-or-build the cache slot for a request's model.
+
+    Callers must hold ``_worker_cache_lock`` (asserted nowhere for speed;
+    :func:`_resolve_cached` is the one call site).
+    """
     global _worker_cache_hits, _worker_cache_misses
     fp = model_fingerprint(request)
     entry = _worker_cache.get(fp)
@@ -272,17 +294,19 @@ def _resolve_cached(request: SolveRequest
                     ) -> tuple[CTMC, RewardStructure,
                                UniformizationKernel | None]:
     """Model, rewards and (when shareable) the cached default-rate kernel."""
-    entry = _cache_entry(request)
-    model = entry[0]
-    rewards = request.rewards if request.rewards is not None else entry[1]
-    if rewards is None:
-        raise ModelError("request resolves to no reward structure")
-    kernel: UniformizationKernel | None = None
-    if (registry.get_spec(request.method).kernel_aware
-            and "rate" not in request.solver_kwargs):
-        if entry[2] is None:
-            entry[2] = UniformizationKernel.from_model(model)[0]
-        kernel = entry[2]
+    with _worker_cache_lock:
+        entry = _cache_entry(request)
+        model = entry[0]
+        rewards = request.rewards if request.rewards is not None \
+            else entry[1]
+        if rewards is None:
+            raise ModelError("request resolves to no reward structure")
+        kernel: UniformizationKernel | None = None
+        if (registry.get_spec(request.method).kernel_aware
+                and "rate" not in request.solver_kwargs):
+            if entry[2] is None:
+                entry[2] = UniformizationKernel.from_model(model)[0]
+            kernel = entry[2]
     return model, rewards, kernel
 
 

@@ -2,11 +2,13 @@
 
 The paper's evaluation — and any serious sweep built on top of it — is a
 grid of independent ``(model, measure, ε, t, method)`` cells. The
-:class:`BatchRunner` fans such cells over a ``concurrent.futures`` process
-pool with:
+:class:`BatchRunner` fans such cells over a pluggable execution backend
+(:mod:`repro.batch.backends`: inline serial, GIL-releasing thread pool
+with process-wide shared caches, or the classic process pool) with:
 
 * **chunking** — adjacent tasks are grouped so cheap cells amortize the
-  pickle/IPC overhead of a round-trip;
+  per-round-trip overhead (pickle/IPC for processes, future bookkeeping
+  for threads);
 * **structured failure capture** — a task raising (e.g.
   :class:`~repro.exceptions.TruncationError` for an over-budget SR cell)
   produces a :class:`BatchOutcome` carrying the exception type, message
@@ -18,11 +20,13 @@ pool with:
 * **deterministic ordering** — results always come back in submission
   order, whatever order the workers finished in.
 
-Tasks must be picklable: module-level functions plus plain-data arguments
-(every in-tree model/reward/measure object pickles cleanly). With
-``max_workers=1`` (or a single task) the runner degrades to an inline
-loop with identical semantics minus timeout enforcement, so library code
-can route *everything* through it unconditionally.
+Tasks submitted to the process backend must be picklable: module-level
+functions plus plain-data arguments (every in-tree model/reward/measure
+object pickles cleanly); the serial and thread backends accept anything
+callable. With ``max_workers=1`` (or a single task) every backend
+degrades to an inline loop with identical semantics minus timeout
+enforcement, so library code can route *everything* through it
+unconditionally.
 """
 
 from __future__ import annotations
@@ -34,16 +38,14 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.batch.backends import (
+    Backend,
+    available_cpus,
+    resolve_backend,
+)
+
 __all__ = ["BatchTask", "BatchOutcome", "BatchExecutionError", "BatchRunner",
            "available_cpus"]
-
-
-def available_cpus() -> int:
-    """CPUs usable by this process (affinity-aware, ≥ 1)."""
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return max(1, os.cpu_count() or 1)
 
 
 class BatchExecutionError(RuntimeError):
@@ -114,61 +116,82 @@ def _run_chunk(tasks: list[BatchTask]) -> list[BatchOutcome]:
 
 
 class BatchRunner:
-    """Fan :class:`BatchTask` lists over a process pool.
+    """Fan :class:`BatchTask` lists over an execution backend.
 
     Parameters
     ----------
     max_workers:
         Pool size; defaults to the CPUs available to this process. With
-        ``max_workers=1`` everything runs inline (no subprocesses), which
-        is also the fallback when only one task is submitted.
+        ``max_workers=1`` everything runs inline (no pool), which is
+        also the fallback when only one task is submitted.
     chunk_size:
         Tasks per worker round-trip. 1 maximizes load balance; larger
-        values amortize IPC for many cheap tasks.
+        values amortize per-round-trip overhead for many cheap tasks.
     task_timeout:
-        Soft per-task seconds budget. A chunk is given
-        ``task_timeout * sum(task.weight)`` measured from the moment the batch
-        is *submitted* (not from when its result is collected — deadlines
-        anchored at collection would let a slow early chunk silently
-        grant every later chunk extra wall-clock). Time spent queued
-        behind other chunks — and pool startup itself, which under the
-        ``spawn`` start method includes booting interpreters — counts:
-        a chunk still queued when its deadline passes is reported timed
-        out even though it never ran, and once one chunk expires every
-        later same-deadline chunk that has not finished expires with it.
-        Size the timeout for the whole fan-out (or raise ``chunk_size``
-        so queueing is bounded), not just one task's compute. On expiry
-        a chunk's tasks are recorded as failed with
-        ``error_type="TimeoutError"`` and :meth:`run` returns without
-        joining the hung worker (the orphaned process runs its current
-        task to completion or dies with the interpreter — a running
-        task cannot be interrupted from outside). ``None`` disables
+        Soft per-task seconds budget, enforced by the pool backends. A
+        chunk is given ``task_timeout * sum(task.weight)`` measured from
+        the moment the batch is *submitted* (not from when its result is
+        collected — deadlines anchored at collection would let a slow
+        early chunk silently grant every later chunk extra wall-clock).
+        Time spent queued behind other chunks — and pool startup itself,
+        which under the ``spawn`` start method includes booting
+        interpreters — counts: a chunk still queued when its deadline
+        passes is reported timed out even though it never ran, and once
+        one chunk expires every later same-deadline chunk that has not
+        finished expires with it. Size the timeout for the whole fan-out
+        (or raise ``chunk_size`` so queueing is bounded), not just one
+        task's compute. On expiry a chunk's tasks are recorded as failed
+        with ``error_type="TimeoutError"`` and :meth:`run` returns
+        without joining the hung worker (an orphaned process runs its
+        current task to completion or dies with the interpreter; an
+        orphaned thread runs on until its task finishes — a running task
+        cannot be interrupted from outside). ``None`` disables
         deadlines. Inline runs are never interrupted.
     mp_context:
         ``multiprocessing`` start-method name (``"fork"``, ``"spawn"``,
-        ...); ``None`` uses the platform default.
+        ...); ``None`` uses the platform default. Only meaningful for the
+        process backend — passing it pins ``backend`` to processes when
+        no backend is chosen explicitly.
+    backend:
+        Execution strategy: ``"serial"``, ``"threads"``, ``"processes"``,
+        a ready :class:`~repro.batch.backends.Backend` instance (which
+        then owns its own pool shape), or ``None`` for the default
+        (``$REPRO_BACKEND`` when set, processes otherwise). See
+        :mod:`repro.batch.backends` for the trade-offs.
     """
 
     def __init__(self,
                  max_workers: int | None = None,
                  chunk_size: int = 1,
                  task_timeout: float | None = None,
-                 mp_context: str | None = None) -> None:
+                 mp_context: str | None = None,
+                 backend: Backend | str | None = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if task_timeout is not None and task_timeout <= 0.0:
             raise ValueError("task_timeout must be positive")
-        self._max_workers = max_workers or available_cpus()
-        self._chunk_size = int(chunk_size)
-        self._task_timeout = task_timeout
-        self._mp_context = mp_context
+        self._backend = resolve_backend(backend,
+                                        max_workers=max_workers,
+                                        chunk_size=chunk_size,
+                                        task_timeout=task_timeout,
+                                        mp_context=mp_context)
 
     @property
     def max_workers(self) -> int:
         """Effective pool size."""
-        return self._max_workers
+        return self._backend.max_workers
+
+    @property
+    def backend(self) -> Backend:
+        """The execution backend this runner fans out on."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry spelling of the active backend."""
+        return self._backend.name
 
     # -- public API --------------------------------------------------------
 
@@ -185,59 +208,4 @@ class BatchRunner:
         tasks = list(tasks)
         if not tasks:
             return []
-        if self._max_workers == 1 or len(tasks) == 1:
-            return [_run_one(t) for t in tasks]
-        return self._run_pool(tasks)
-
-    # -- internals ---------------------------------------------------------
-
-    def _run_pool(self, tasks: list[BatchTask]) -> list[BatchOutcome]:
-        from concurrent.futures import ProcessPoolExecutor, TimeoutError \
-            as FuturesTimeout
-        import multiprocessing
-
-        chunks = [tasks[i:i + self._chunk_size]
-                  for i in range(0, len(tasks), self._chunk_size)]
-        ctx = (multiprocessing.get_context(self._mp_context)
-               if self._mp_context else None)
-        outcomes: list[BatchOutcome] = []
-        timed_out = False
-        pool = ProcessPoolExecutor(max_workers=self._max_workers,
-                                   mp_context=ctx)
-        try:
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-            # Deadlines are anchored at submission time: every chunk must
-            # deliver within its own budget of wall-clock from *now*,
-            # however long earlier chunks took to collect.
-            submitted = time.monotonic()
-            for chunk, future in zip(chunks, futures):
-                budget = remaining = None
-                if self._task_timeout is not None:
-                    budget = self._task_timeout * sum(
-                        max(1, t.weight) for t in chunk)
-                    remaining = max(0.0,
-                                    budget - (time.monotonic() - submitted))
-                try:
-                    outcomes.extend(future.result(timeout=remaining))
-                except FuturesTimeout:
-                    timed_out = True
-                    future.cancel()
-                    outcomes.extend(
-                        BatchOutcome(key=t.key, ok=False,
-                                     error_type="TimeoutError",
-                                     error=f"no result within {budget:.3g}s "
-                                           "of submission (chunk deadline)")
-                        for t in chunk)
-                except Exception as exc:  # BrokenProcessPool and friends;
-                    # KeyboardInterrupt must abort the whole run instead.
-                    outcomes.extend(
-                        BatchOutcome(key=t.key, ok=False,
-                                     error_type=type(exc).__name__,
-                                     error=str(exc))
-                        for t in chunk)
-        finally:
-            # After a timeout, do NOT wait for the hung worker — run()'s
-            # deadline contract beats a clean join. The worker process
-            # survives until its task finishes (documented best-effort).
-            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
-        return outcomes
+        return self._backend.run(tasks)

@@ -38,6 +38,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.analysis.convergence import compare_regenerative_states
+from repro.batch.backends import BACKEND_NAMES
 from repro.analysis.experiments import (
     ExperimentConfig,
     grid_solve_requests,
@@ -218,8 +219,8 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
     from repro.service import JobQueue, SolveService
 
     queue = JobQueue.resume(args.queue)
-    service = SolveService(workers=args.workers, fuse=args.fuse,
-                           memoize=args.memoize)
+    service = SolveService(workers=args.workers, backend=args.backend,
+                           fuse=args.fuse, memoize=args.memoize)
     processed = queue.run(service, limit=args.limit,
                           checkpoint=args.checkpoint)
     failed = sum(1 for _, o in processed if not o.ok)
@@ -331,7 +332,12 @@ def build_parser() -> argparse.ArgumentParser:
     pb = batch_sub.add_parser("run", help="execute pending jobs")
     pb.add_argument("--queue", required=True, metavar="DIR")
     pb.add_argument("--workers", type=_positive_int, default=1,
-                    help="process-pool size (default: 1, inline)")
+                    help="pool size (default: 1, inline)")
+    pb.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                    help="execution backend: threads shares one "
+                         "process-wide cache set (GIL-releasing "
+                         "stepping), processes isolates workers "
+                         "(default: $REPRO_BACKEND or processes)")
     pb.add_argument("--no-fuse", dest="fuse", action="store_false",
                     default=True,
                     help="disable planner coalescing/fusion")

@@ -101,10 +101,6 @@ class RegenerativeRandomizationSolver:
         else:
             setup = prepare(model, rewards, self._regenerative, self._rate,
                             kernel=kernel)
-        # Steps already on the (possibly shared) builders before this
-        # solve: the difference is what *this* call charged.
-        reused_steps = setup.main.steps_done \
-            + (setup.primed.steps_done if setup.primed else 0)
         inner = StandardRandomizationSolver(max_steps=self._inner_max_steps)
 
         values = np.empty(t_arr.size)
@@ -113,21 +109,36 @@ class RegenerativeRandomizationSolver:
         l_points = np.full(t_arr.size, -1, dtype=np.int64)
         inner_steps = np.empty(t_arr.size, dtype=np.int64)
         order = np.argsort(t_arr)  # ascending t reuses schedule prefixes
-        for i in order:
-            t = float(t_arr[i])
-            choice = select_truncation(setup.main, setup.primed, setup.rate,
-                                       t, eps / 2.0, r_max)
-            v_model, v_rewards = build_vkl(
-                setup.main.snapshot(),
-                setup.primed.snapshot() if setup.primed is not None else None,
-                choice.k_point, choice.l_point, setup.rate,
-                setup.absorbing_rewards, setup.alpha_r)
-            sol = inner.solve(v_model, v_rewards, measure, [t], eps / 2.0)
-            values[i] = sol.values[0]
-            steps[i] = choice.steps
-            k_points[i] = choice.k_point
-            l_points[i] = choice.l_point if choice.l_point is not None else -1
-            inner_steps[i] = sol.steps[0]
+        # A cached setup may be shared with concurrent solves (thread
+        # backend): the lock serializes builder extension and keeps the
+        # steps_done accounting attributable to this call. Private
+        # setups pay one uncontended acquire.
+        with setup.lock:
+            # Steps already on the (possibly shared) builders before
+            # this solve: the difference is what *this* call charged.
+            reused_steps = setup.main.steps_done \
+                + (setup.primed.steps_done if setup.primed else 0)
+            for i in order:
+                t = float(t_arr[i])
+                choice = select_truncation(setup.main, setup.primed,
+                                           setup.rate, t, eps / 2.0, r_max)
+                v_model, v_rewards = build_vkl(
+                    setup.main.snapshot(),
+                    setup.primed.snapshot()
+                    if setup.primed is not None else None,
+                    choice.k_point, choice.l_point, setup.rate,
+                    setup.absorbing_rewards, setup.alpha_r)
+                sol = inner.solve(v_model, v_rewards, measure, [t],
+                                  eps / 2.0)
+                values[i] = sol.values[0]
+                steps[i] = choice.steps
+                k_points[i] = choice.k_point
+                l_points[i] = choice.l_point \
+                    if choice.l_point is not None else -1
+                inner_steps[i] = sol.steps[0]
+            transformation_steps = setup.main.steps_done \
+                + (setup.primed.steps_done if setup.primed else 0) \
+                - reused_steps
         stats = {
             "rate": setup.rate,
             "regenerative": setup.regenerative,
@@ -135,9 +146,7 @@ class RegenerativeRandomizationSolver:
             "K": k_points,
             "L": l_points,
             "inner_sr_steps": inner_steps,
-            "transformation_steps": setup.main.steps_done
-            + (setup.primed.steps_done if setup.primed else 0)
-            - reused_steps,
+            "transformation_steps": transformation_steps,
         }
         if cache_hit is not None:
             stats["schedule_cache_hit"] = cache_hit

@@ -30,14 +30,17 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.batch.kernel import UniformizationKernel, ensure_model_kernel
+from repro.batch.kernel import (
+    UniformizationKernel,
+    ensure_model_kernel,
+    shared_poisson_tail,
+)
 from repro.exceptions import TruncationError
 from repro.markov.base import SolveCell, TransientSolution, as_time_array
 from repro.markov.ctmc import CTMC
 from repro.markov.poisson import (
     poisson_expected_excess,
     poisson_right_quantile,
-    poisson_sf,
 )
 from repro.markov.rewards import Measure, RewardStructure
 from repro.solvers.registry import SolverSpec, register
@@ -109,7 +112,11 @@ def _sr_values(kernel: UniformizationKernel, d: np.ndarray,
             w = window.weights[: hi - window.left]
             values[i] = float(w @ d[window.left: hi])
         else:
-            tails = poisson_sf(np.arange(n_i, dtype=np.float64), lam_t)
+            # Process-wide LRU: grid cells sharing a (Λt, n) key reuse
+            # one tail array instead of each redoing the poisson_sf
+            # sweep (bit-identical — the cache stores exactly the array
+            # the inline call produced).
+            tails = shared_poisson_tail(lam_t, n_i)
             values[i] = float(tails @ d[:n_i]) / lam_t
     return values
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.batch.backends import Backend
 from repro.batch.planner import ExecutionPlan, plan_requests, SolveRequest
 from repro.batch.runner import BatchOutcome, BatchRunner, BatchTask
 from repro.markov.base import TransientSolution
@@ -63,6 +64,13 @@ class SolveService:
         :class:`~repro.batch.runner.BatchRunner` (ignored when ``runner``
         is given). The default ``workers=1`` runs everything inline with
         identical numbers.
+    backend:
+        Execution strategy (``"serial"`` / ``"threads"`` /
+        ``"processes"``, a :class:`~repro.batch.backends.Backend`
+        instance, or ``None`` for the ``$REPRO_BACKEND``-aware default),
+        forwarded to the runner. Every backend produces bit-identical
+        outcomes; they differ only in parallelism, isolation and cache
+        topology — see :mod:`repro.batch.backends`.
     fuse:
         Planner policy: coalesce duplicates and fuse SR/RSD cells sharing
         a model (default). ``False`` plans one task per request — same
@@ -86,6 +94,7 @@ class SolveService:
                  chunk_size: int = 1,
                  task_timeout: float | None = None,
                  mp_context: str | None = None,
+                 backend: "Backend | str | None" = None,
                  fuse: bool = True,
                  memoize: bool = True,
                  runner: BatchRunner | None = None) -> None:
@@ -93,7 +102,8 @@ class SolveService:
             runner = BatchRunner(max_workers=workers,
                                  chunk_size=chunk_size,
                                  task_timeout=task_timeout,
-                                 mp_context=mp_context)
+                                 mp_context=mp_context,
+                                 backend=backend)
         self._runner = runner
         self._fuse = bool(fuse)
         self._memoize = bool(memoize)
@@ -114,6 +124,11 @@ class SolveService:
     def runner(self) -> BatchRunner:
         """The runner this service executes on."""
         return self._runner
+
+    @property
+    def backend(self) -> Backend:
+        """The execution backend the underlying runner fans out on."""
+        return self._runner.backend
 
     def plan(self, requests: Iterable[SolveRequest]) -> ExecutionPlan:
         """Compile requests under this service's planner policy (without

@@ -1,0 +1,304 @@
+"""Backend conformance matrix and thread-safety regression tests.
+
+The execution backend is the one layer allowed to vary *how* work runs
+while changing *nothing* about what comes back: for every registered
+solver on every scenario family, serial == threads == processes must be
+bit-identical, failure capture and deadline semantics must match across
+the pool backends, and the thread backend must actually deliver its
+headline cache topology (one kernel/schedule build per model per
+*process*, not per worker). The hammer tests at the bottom pin the
+lock-protected counters: an unlocked ``count += 1`` loses updates under
+a thread pool, which is exactly the regression they would catch.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.batch.backends import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.batch.kernel import UniformizationKernel, kernel_build_count
+from repro.batch.planner import (
+    SolveRequest,
+    run_request,
+    worker_cache_clear,
+    worker_cache_info,
+)
+from repro.batch.runner import BatchRunner, BatchTask
+from repro.batch.scenarios import Scenario, generate_scenarios
+from repro.core.schedule_cache import (
+    ScheduleCache,
+    process_schedule_cache_info,
+)
+from repro.markov.rewards import Measure
+from repro.service import SolveService
+from repro.solvers import registry
+
+EPS = 1e-8
+
+#: One scenario per generator family (deterministic), the cross-backend
+#: equivalent of the cross-solver matrix.
+FAMILY_SCENARIOS = (
+    generate_scenarios(families=("raid5",), times=(1.0, 50.0), eps=EPS)[:1]
+    + generate_scenarios(families=("multiprocessor",),
+                         times=(1.0, 50.0), eps=EPS)[:1]
+    # Same draws as the cross-solver matrix: known-good for every method.
+    + [s for s in generate_scenarios(families=("birth_death", "block"),
+                                     seed=5, random_count=2,
+                                     times=(0.5, 5.0), eps=EPS)
+       if s.name in ("bd-0-n21", "block-0-2x4")]
+)
+
+_SMALL_BD = Scenario(name="backend-bd", family="birth_death",
+                     params={"n": 40, "birth": 1.0, "death": 1.4},
+                     measure=Measure.TRR, times=(0.5,), eps=1e-6)
+
+_MEMO_BD = Scenario(name="backend-bd-memo", family="birth_death",
+                    params={"n": 400, "birth": 1.0, "death": 1.5},
+                    measure=Measure.TRR, times=(10.0,), eps=1e-8)
+
+
+def _conformance_requests() -> list[SolveRequest]:
+    """Every registered solver × every scenario family (where legal)."""
+    requests = []
+    for scenario in FAMILY_SCENARIOS:
+        model, _ = scenario.build()
+        irreducible = model.is_irreducible()
+        for method in registry.known_methods():
+            if method == "RSD" and not irreducible:
+                continue  # steady-state detection needs an irreducible chain
+            requests.append(SolveRequest(
+                scenario=scenario, measure=scenario.measure,
+                times=scenario.times, eps=scenario.eps, method=method,
+                key=(scenario.name, method)))
+    return requests
+
+
+def _service(backend: str) -> SolveService:
+    workers = 1 if backend == "serial" else 2
+    return SolveService(workers=workers, backend=backend)
+
+
+class TestConformanceMatrix:
+    def test_all_backends_bit_identical_for_every_solver(self):
+        requests = _conformance_requests()
+        # Sanity: the matrix really covers every registered solver.
+        assert {m for _, m in (r.key for r in requests)} \
+            == set(registry.known_methods())
+
+        reference = None
+        for backend in BACKEND_NAMES:
+            worker_cache_clear()
+            outcomes = _service(backend).solve(requests)
+            assert [o.key for o in outcomes] == [r.key for r in requests]
+            sols = {}
+            for out in outcomes:
+                assert out.ok, (backend, out.key, out.error)
+                sols[out.key] = out.value
+            if reference is None:
+                reference = sols
+                continue
+            for key, sol in sols.items():
+                ref = reference[key]
+                assert np.array_equal(sol.values, ref.values), \
+                    (backend, key)
+                assert np.array_equal(sol.steps, ref.steps), (backend, key)
+                assert sol.method == ref.method
+                assert sol.stats["rate"] == ref.stats["rate"]
+
+    def test_failure_capture_identical_across_backends(self):
+        # One cell fails in-solver (SR over its step cap), one succeeds:
+        # every backend must capture the same structured failure without
+        # letting it poison the healthy cell.
+        requests = [
+            SolveRequest(scenario=_MEMO_BD, measure=Measure.TRR,
+                         times=(50.0,), eps=1e-10, method="SR",
+                         solver_kwargs={"max_steps": 5}, key="overflow"),
+            SolveRequest(scenario=_SMALL_BD, measure=Measure.TRR,
+                         times=_SMALL_BD.times, eps=_SMALL_BD.eps,
+                         method="SR", key="fine"),
+        ]
+        captured = {}
+        for backend in BACKEND_NAMES:
+            worker_cache_clear()
+            bad, good = _service(backend).solve(requests)
+            assert not bad.ok and bad.error_type == "TruncationError"
+            assert "max_steps" in bad.error
+            assert good.ok
+            captured[backend] = (bad.error, good.value.values.tobytes())
+        assert len(set(captured.values())) == 1, captured
+
+
+def _sleep_return(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+class TestDeadlineSemantics:
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_pool_backends_enforce_submission_deadlines(self, backend):
+        runner = BatchRunner(max_workers=2, task_timeout=0.2,
+                             backend=backend)
+        start = time.perf_counter()
+        outs = runner.run(
+            [BatchTask(fn=_sleep_return, args=(1.5,), key="slow"),
+             BatchTask(fn=_sleep_return, args=(0.01,), key="fast")])
+        elapsed = time.perf_counter() - start
+        assert outs[0].ok is False
+        assert outs[0].error_type == "TimeoutError"
+        assert "submission" in outs[0].error
+        assert outs[1].ok is True and outs[1].value == 0.01
+        # The deadline contract beats a clean join: run() must not wait
+        # out the hung worker's full sleep on either backend.
+        assert elapsed < 1.2, f"{backend} blocked {elapsed:.2f}s"
+
+    def test_serial_backend_never_interrupts(self):
+        runner = BatchRunner(max_workers=1, task_timeout=0.05,
+                             backend="serial")
+        outs = runner.run(
+            [BatchTask(fn=_sleep_return, args=(0.15,), key="inline")])
+        assert outs[0].ok is True  # inline runs are never interrupted
+
+
+class TestCacheTopology:
+    def _memo_requests(self, n=6):
+        return [SolveRequest(scenario=_MEMO_BD, measure=Measure.TRR,
+                             times=(10.0 * (i + 1),), eps=1e-8,
+                             method="RRL", key=i)
+                for i in range(n)]
+
+    def test_threads_share_one_cache_set(self):
+        """Thread workers share the process-wide caches: a same-model
+        grid builds ONE kernel and ONE schedule transformation total,
+        however many workers raced for them."""
+        requests = self._memo_requests()
+        worker_cache_clear()
+        builds_before = kernel_build_count()
+        outcomes = SolveService(workers=3, backend="threads").solve(requests)
+        assert all(o.ok for o in outcomes)
+        assert kernel_build_count() - builds_before == 1
+        info = process_schedule_cache_info()
+        assert info["misses"] == 1 and info["hits"] == len(requests) - 1
+        hits = [o.value.stats["schedule_cache_hit"] for o in outcomes]
+        assert sum(1 for h in hits if not h) == 1
+
+    def test_processes_pay_per_worker_and_match_threads(self):
+        """Process workers each warm a private cache: at most one
+        schedule build per worker (visible through the per-cell stats),
+        none in the parent — and the numbers still match the threaded
+        run bit for bit."""
+        requests = self._memo_requests()
+        worker_cache_clear()
+        threaded = SolveService(workers=2, backend="threads").solve(requests)
+
+        worker_cache_clear()
+        builds_before = kernel_build_count()
+        pooled = SolveService(workers=2, backend="processes").solve(requests)
+        assert kernel_build_count() - builds_before == 0  # parent idle
+        assert all(o.ok for o in pooled)
+        builds = sum(1 for o in pooled
+                     if not o.value.stats["schedule_cache_hit"])
+        assert 1 <= builds <= 2, builds
+        for a, b in zip(pooled, threaded):
+            assert np.array_equal(a.value.values, b.value.values)
+            assert np.array_equal(a.value.steps, b.value.steps)
+
+
+class TestBackendResolution:
+    def test_names_and_instances(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("threads"), ThreadBackend)
+        assert isinstance(resolve_backend("processes"), ProcessBackend)
+        backend = ThreadBackend(max_workers=3)
+        assert resolve_backend(backend) is backend
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("fibers")
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        assert BatchRunner(max_workers=2).backend_name == "threads"
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            BatchRunner(max_workers=2)
+
+    def test_mp_context_pins_processes(self, monkeypatch):
+        # An explicit start method beats the env *default* but conflicts
+        # with an explicit non-process backend.
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        assert BatchRunner(mp_context="fork").backend_name == "processes"
+        with pytest.raises(ValueError, match="mp_context"):
+            BatchRunner(backend="threads", mp_context="fork")
+
+    def test_instance_rejects_conflicting_pool_shape(self):
+        # A ready instance owns its pool shape: explicit shape args
+        # alongside it must error rather than be silently dropped.
+        with pytest.raises(ValueError, match="owns its own pool shape"):
+            resolve_backend(ThreadBackend(), mp_context="fork")
+        with pytest.raises(ValueError, match="task_timeout"):
+            BatchRunner(task_timeout=30.0, backend=ThreadBackend())
+        with pytest.raises(ValueError, match="max_workers"):
+            BatchRunner(max_workers=4, backend=SerialBackend())
+
+
+# -- lock-protected counter regressions ------------------------------------
+
+_N_THREADS = 8
+
+
+def _hammer(fn, per_thread):
+    with ThreadPoolExecutor(max_workers=_N_THREADS) as pool:
+        list(pool.map(lambda _: [fn() for _ in range(per_thread)],
+                      range(_N_THREADS)))
+
+
+class TestCounterThreadSafety:
+    def test_kernel_build_count_is_exact_under_threads(self):
+        p = np.array([[0.5, 0.5], [0.5, 0.5]])
+        before = kernel_build_count()
+        _hammer(lambda: UniformizationKernel(p), per_thread=250)
+        assert kernel_build_count() - before == _N_THREADS * 250
+
+    def test_worker_cache_counters_are_exact_under_threads(self):
+        request = SolveRequest(scenario=_SMALL_BD, measure=Measure.TRR,
+                               times=_SMALL_BD.times, eps=_SMALL_BD.eps,
+                               method="SR", key="hammer")
+        worker_cache_clear()
+        _hammer(lambda: run_request(request), per_thread=10)
+        info = worker_cache_info()
+        assert info["hits"] + info["misses"] == _N_THREADS * 10
+        assert info["misses"] == 1  # one build, everyone else hits
+
+    def test_schedule_cache_counters_are_exact_under_threads(self):
+        model, rewards = _SMALL_BD.build()
+        cache = ScheduleCache()
+        _hammer(lambda: cache.setup_for(model, rewards), per_thread=10)
+        info = cache.info()
+        assert info["hits"] + info["misses"] == _N_THREADS * 10
+        assert info["misses"] == 1 and len(cache) == 1
+
+    def test_concurrent_rrl_solves_share_one_setup_bit_identically(self):
+        """End-to-end hammer: many threads solving same-model RRL cells
+        through one shared ScheduleCache must produce exactly the serial
+        numbers (the setup lock serializes builder extension)."""
+        requests = [SolveRequest(scenario=_MEMO_BD, measure=Measure.TRR,
+                                 times=(5.0 * (i + 1),), eps=1e-8,
+                                 method="RRL", key=i)
+                    for i in range(8)]
+        worker_cache_clear()
+        serial = SolveService(workers=1).solve(requests)
+        worker_cache_clear()
+        threaded = SolveService(workers=_N_THREADS,
+                                backend="threads").solve(requests)
+        for a, b in zip(threaded, serial):
+            assert a.ok and b.ok
+            assert np.array_equal(a.value.values, b.value.values)
+            assert np.array_equal(a.value.steps, b.value.steps)
+        assert process_schedule_cache_info()["misses"] == 1
